@@ -1,0 +1,75 @@
+//! The visited bitmap's two claim paths: test-then-set vs unconditional
+//! atomic — the microscopic version of the paper's Fig. 4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcbfs_graph::bitmap::AtomicBitmap;
+
+fn bench_claim_paths(c: &mut Criterion) {
+    const BITS: usize = 1 << 20;
+    let mut g = c.benchmark_group("bitmap_claim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(BITS as u64));
+
+    // All bits already set: the late-BFS regime where test-then-set shines.
+    g.bench_function("test_then_set_all_visited", |b| {
+        let bm = AtomicBitmap::new(BITS);
+        for i in 0..BITS {
+            bm.set_atomic(i);
+        }
+        b.iter(|| {
+            for i in 0..BITS {
+                std::hint::black_box(bm.claim(i));
+            }
+        });
+    });
+    g.bench_function("unconditional_atomic_all_visited", |b| {
+        let bm = AtomicBitmap::new(BITS);
+        for i in 0..BITS {
+            bm.set_atomic(i);
+        }
+        b.iter(|| {
+            for i in 0..BITS {
+                std::hint::black_box(bm.set_atomic(i));
+            }
+        });
+    });
+    // Fresh bitmap each round: the early-BFS regime (atomic unavoidable).
+    g.bench_function("claim_all_fresh", |b| {
+        b.iter_with_setup(
+            || AtomicBitmap::new(BITS),
+            |bm| {
+                for i in 0..BITS {
+                    std::hint::black_box(bm.claim(i));
+                }
+            },
+        );
+    });
+    g.finish();
+}
+
+fn bench_plain_ops(c: &mut Criterion) {
+    const BITS: usize = 1 << 20;
+    let bm = AtomicBitmap::new(BITS);
+    for i in (0..BITS).step_by(3) {
+        bm.set_atomic(i);
+    }
+    let mut g = c.benchmark_group("bitmap_read");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(BITS as u64));
+    g.bench_function("sequential_test", |b| {
+        b.iter(|| {
+            let mut ones = 0usize;
+            for i in 0..BITS {
+                ones += bm.test(i) as usize;
+            }
+            std::hint::black_box(ones);
+        });
+    });
+    g.bench_function("count_ones", |b| {
+        b.iter(|| std::hint::black_box(bm.count_ones()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_claim_paths, bench_plain_ops);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Generator throughput: edges/second for each synthetic family.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcbfs_gen::grid::{GridBuilder, Stencil};
+use mcbfs_gen::prelude::*;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    const SCALE: u32 = 14; // 16K vertices
+    const DEGREE: usize = 8;
+    let edges = (DEGREE << SCALE) as u64;
+    g.throughput(Throughput::Elements(edges));
+    g.bench_function("uniform_edges", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                UniformBuilder::new(1 << SCALE, DEGREE).seed(1).build_edges(),
+            )
+        });
+    });
+    g.bench_function("rmat_edges", |b| {
+        b.iter(|| std::hint::black_box(RmatBuilder::new(SCALE, DEGREE).seed(1).build_edges()));
+    });
+    g.bench_function("ssca2_edges", |b| {
+        b.iter(|| std::hint::black_box(Ssca2Builder::new(1 << SCALE).seed(1).build_edges()));
+    });
+    g.bench_function("grid8_edges", |b| {
+        b.iter(|| {
+            std::hint::black_box(GridBuilder::new(128, Stencil::Eight).build_edges())
+        });
+    });
+    g.finish();
+}
+
+fn bench_csr_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_assembly");
+    g.sample_size(10);
+    let edges = UniformBuilder::new(1 << 14, 8).seed(2).build_edges();
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.bench_function("sequential_build", |b| {
+        b.iter(|| {
+            std::hint::black_box(mcbfs_graph::csr::CsrGraph::from_edges(1 << 14, &edges))
+        });
+    });
+    g.bench_function("parallel_build", |b| {
+        b.iter(|| {
+            std::hint::black_box(mcbfs_graph::csr::CsrGraph::from_edges_parallel(
+                1 << 14,
+                &edges,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_assembly);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Fig. 2 — "Impact of memory pipelining, Nehalem EP".
+//!
+//! Random reads/second vs. working-set size (4 KB … 8 GB) for batch sizes
+//! 1–16. Model mode evaluates the Nehalem-EP cost model; native mode runs
+//! the pointer-chasing microbenchmark on this host (working sets capped to
+//! a quarter of host RAM).
+
+use mcbfs_bench::cli::{Args, Scale};
+use mcbfs_bench::report::Report;
+use mcbfs_bench::workloads::host_memory_bytes;
+use mcbfs_machine::memlat::random_read_benchmark;
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("fig02_mem_pipelining");
+    let mut report = Report::new(
+        "Fig. 2: random reads/s vs working set, batch 1-16 (Nehalem EP model / this host native)",
+        "working set B",
+    );
+    let batches = [1usize, 2, 4, 8, 16];
+    // 4 KB .. 8 GB in powers of 4, as in the paper's sweep.
+    let max_bytes: u64 = match args.scale {
+        Scale::Paper => 8 << 30,
+        Scale::Small => 256 << 20,
+    };
+    let mut working_sets = Vec::new();
+    let mut ws: u64 = 4 << 10;
+    while ws <= max_bytes {
+        working_sets.push(ws);
+        ws *= 4;
+    }
+
+    if args.mode.wants_model() {
+        let model = MachineModel::nehalem_ep();
+        for &ws in &working_sets {
+            for &b in &batches {
+                let rate = model.random_read_rate(ws, b);
+                report.push("fig02", &format!("model batch={b}"), ws as f64, rate / 1e6, "Mreads/s");
+            }
+        }
+    }
+    if args.mode.wants_native() {
+        let native_cap = host_memory_bytes() / 4;
+        for &ws in &working_sets {
+            if ws > native_cap {
+                eprintln!("# native: skipping {ws} B (exceeds {native_cap} B budget)");
+                continue;
+            }
+            for &b in &batches {
+                // Fewer reads for huge sets so the sweep stays quick.
+                let reads = (20_000_000 / (b as u64 * (ws / 4096).max(1)).max(1)).clamp(20_000, 2_000_000);
+                let r = random_read_benchmark(ws as usize, b, reads as usize);
+                report.push(
+                    "fig02",
+                    &format!("native batch={b}"),
+                    ws as f64,
+                    r.reads_per_second / 1e6,
+                    "Mreads/s",
+                );
+            }
+        }
+    }
+    report.finish(&args.out);
+}

@@ -1,0 +1,52 @@
+//! Fig. 3 — "Processing rates with fetch-and-add and a dual socket
+//! configuration".
+//!
+//! Aggregate `fetch_add` ops/second on a shared 4 MB buffer vs. thread
+//! count. The paper's signature result: the rate *drops* when the fifth
+//! thread crosses the socket boundary, and 8 cores on two sockets match
+//! only 3 cores on one.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_machine::memlat::fetch_add_benchmark;
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("fig03_fetch_add");
+    let mut report = Report::new(
+        "Fig. 3: shared-buffer fetch-and-add rate vs threads (4 MB buffer)",
+        "threads",
+    );
+    let threads = args.threads.clone().unwrap_or_else(|| (1..=16).collect());
+
+    if args.mode.wants_model() {
+        let model = MachineModel::nehalem_ep();
+        for &t in &threads {
+            let rate = model.fetch_add_rate(t);
+            report.push("fig03", "model (Nehalem EP)", t as f64, rate / 1e6, "Mops/s");
+        }
+    }
+    if args.mode.wants_native() {
+        for &t in &threads {
+            let r = fetch_add_benchmark(t, 4 << 20, 2_000_000 / t.max(1));
+            report.push("fig03", "native (this host)", t as f64, r.ops_per_second / 1e6, "Mops/s");
+        }
+    }
+    report.finish(&args.out);
+
+    // The paper's takeaway, checked numerically on the model curve.
+    let model = MachineModel::nehalem_ep();
+    let (r3, r4, r5, r8) = (
+        model.fetch_add_rate(3),
+        model.fetch_add_rate(4),
+        model.fetch_add_rate(5),
+        model.fetch_add_rate(8),
+    );
+    println!(
+        "# socket-boundary check: rate(5)={:.1}M < rate(4)={:.1}M ({}), rate(8)/rate(3)={:.2}",
+        r5 / 1e6,
+        r4 / 1e6,
+        if r5 < r4 { "drop reproduced" } else { "NOT reproduced" },
+        r8 / r3
+    );
+}

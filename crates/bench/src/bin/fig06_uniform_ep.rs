@@ -1,0 +1,13 @@
+//! Fig. 06 — uniformly random graphs on the dual-socket Nehalem EP: processing rate (a),
+//! speedup (b) and graph-size sensitivity (c).
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::figures::run_figure;
+use mcbfs_bench::workloads::Family;
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("fig06_uniform_ep");
+    let model = MachineModel::nehalem_ep();
+    run_figure("fig06", Family::Uniform, &model, &args);
+}

@@ -1,0 +1,13 @@
+//! Fig. 07 — R-MAT graphs on the dual-socket Nehalem EP: processing rate (a),
+//! speedup (b) and graph-size sensitivity (c).
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::figures::run_figure;
+use mcbfs_bench::workloads::Family;
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("fig07_rmat_ep");
+    let model = MachineModel::nehalem_ep();
+    run_figure("fig07", Family::Rmat, &model, &args);
+}

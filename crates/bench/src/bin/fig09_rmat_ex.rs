@@ -1,0 +1,13 @@
+//! Fig. 09 — R-MAT graphs on the 4-socket Nehalem EX: processing rate (a),
+//! speedup (b) and graph-size sensitivity (c).
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::figures::run_figure;
+use mcbfs_bench::workloads::Family;
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("fig09_rmat_ex");
+    let model = MachineModel::nehalem_ex();
+    run_figure("fig09", Family::Rmat, &model, &args);
+}

@@ -1,0 +1,70 @@
+//! Graph500-style kernel harness: many BFS searches from random roots with
+//! TEPS statistics — the paper's "source vertex was chosen randomly"
+//! methodology, in the form that became the standard benchmark.
+//!
+//! Not a paper figure per se, but the robust version of every rate number
+//! in Figs. 6–9: run with `--mode both` to get native wall-clock quantiles
+//! next to the modelled EP/EX predictions.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_bench::workloads::{rate_cases, Family};
+use mcbfs_core::kernel::run_kernel;
+use mcbfs_core::runner::{Algorithm, ExecMode};
+use mcbfs_machine::model::MachineModel;
+
+fn main() {
+    let args = Args::parse("kernel_teps");
+    let case = &rate_cases(Family::Rmat, args.scale)[0];
+    eprintln!("# building {} {} (scaled /{}) ...", case.family.name(), case.label, case.factor);
+    let graph = case.build();
+    let searches = 16usize;
+    let mut report = Report::new(
+        "Graph500-style kernel: TEPS quantiles over 16 random roots (R-MAT class)",
+        "quantile%",
+    );
+
+    if args.mode.wants_model() {
+        for (name, model, threads, sockets) in [
+            ("EP model 16thr", MachineModel::nehalem_ep(), 16usize, 2usize),
+            ("EX model 64thr", MachineModel::nehalem_ex(), 64, 4),
+        ] {
+            let stats = run_kernel(
+                &graph,
+                Algorithm::MultiSocket { sockets },
+                threads,
+                ExecMode::model(model),
+                searches,
+                99,
+            );
+            for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                report.push("kernel", name, q * 100.0, stats.quantile(q) / 1e6, "MTEPS");
+            }
+            println!(
+                "# {name}: harmonic mean {:.1} MTEPS over {} searches",
+                stats.harmonic_mean_teps / 1e6,
+                stats.searches
+            );
+        }
+    }
+    if args.mode.wants_native() {
+        let threads = args.threads.as_ref().map(|t| t[0]).unwrap_or(2);
+        let stats = run_kernel(
+            &graph,
+            Algorithm::SingleSocket,
+            threads,
+            ExecMode::Native,
+            searches,
+            99,
+        );
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            report.push("kernel", "native (this host)", q * 100.0, stats.quantile(q) / 1e6, "MTEPS");
+        }
+        println!(
+            "# native: harmonic mean {:.1} MTEPS over {} searches",
+            stats.harmonic_mean_teps / 1e6,
+            stats.searches
+        );
+    }
+    report.finish(&args.out);
+}

@@ -1,0 +1,37 @@
+//! Table I — system configuration of the two Nehalem testbeds, printed from
+//! the topology presets (plus the host this reproduction runs on).
+
+use mcbfs_machine::topology::MachineSpec;
+
+fn main() {
+    println!("# Table I: system configuration");
+    for spec in [
+        MachineSpec::nehalem_ep(),
+        MachineSpec::nehalem_ex(),
+        MachineSpec::nehalem_ex_8s(),
+    ] {
+        println!("{}", spec.table_row());
+        println!(
+            "    L1 {} KB/core, L2 {} KB/core, cache line {} B, {} total threads, \
+             pipelining {}/thread {}/socket",
+            spec.l1_bytes >> 10,
+            spec.l2_bytes >> 10,
+            spec.cacheline,
+            spec.total_threads(),
+            spec.max_outstanding_per_thread,
+            spec.max_outstanding_per_socket,
+        );
+        let order = spec.affinity_order();
+        println!(
+            "    core affinities (placement order, first 16): {:?}",
+            &order[..order.len().min(16)]
+        );
+    }
+    let host = MachineSpec::custom(
+        "this host",
+        1,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        1,
+    );
+    println!("{}", host.table_row());
+}

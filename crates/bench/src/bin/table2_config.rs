@@ -1,0 +1,13 @@
+//! Table II — configurations of every system compared in the evaluation
+//! (the two Intel testbeds plus the literature machines of Table III).
+
+use mcbfs_machine::reference::table2_rows;
+
+fn main() {
+    println!("# Table II: systems under comparison");
+    println!("{:<38} configuration", "system");
+    println!("{} {}", "-".repeat(38), "-".repeat(80));
+    for (system, config) in table2_rows() {
+        println!("{system:<38} {config}");
+    }
+}

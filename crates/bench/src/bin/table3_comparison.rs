@@ -1,0 +1,74 @@
+//! Table III — comparison with published parallel-BFS results, plus the
+//! paper's three headline claims checked against our modelled 4-socket
+//! Nehalem EX rates.
+//!
+//! The published rows are embedded reference data (the paper compares
+//! against the literature, not re-runs); our column is produced by the
+//! instrumented simulation extrapolated to paper scale and priced by the
+//! EX model.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::figures::best_config;
+use mcbfs_bench::model_rate;
+use mcbfs_bench::report::Report;
+use mcbfs_bench::workloads::headline_cases;
+use mcbfs_machine::model::MachineModel;
+use mcbfs_machine::reference::{headline_claims, table3_rows};
+
+fn main() {
+    let args = Args::parse("table3_comparison");
+    let model = MachineModel::nehalem_ex();
+    let threads = model.spec.total_threads();
+
+    println!("# Table III: published BFS results (reference data)");
+    println!(
+        "{:<34} {:<18} {:<26} {:>10} {:>12} {:>8} {:>6}",
+        "reference", "system", "graph", "N", "M", "ME/s", "procs"
+    );
+    for r in table3_rows() {
+        println!(
+            "{:<34} {:<18} {:<26} {:>10} {:>12} {:>8.0} {:>6}",
+            r.reference,
+            r.system,
+            r.graph_type,
+            if r.n > 0 { r.n.to_string() } else { "-".into() },
+            if r.m > 0 { r.m.to_string() } else { "-".into() },
+            r.me_per_s,
+            r.processors
+        );
+    }
+
+    println!("\n# Headline claims: our modelled Nehalem EX ({threads} threads) vs published");
+    let mut report = Report::new("headline claim check", "claim#");
+    let claims = headline_claims();
+    for (i, ((id, case), claim)) in headline_cases(args.scale).into_iter().zip(&claims).enumerate()
+    {
+        assert_eq!(id, claim.id, "claim order must match workload order");
+        eprintln!("# building {} (scaled /{}) ...", case.label, case.factor);
+        let graph = case.build();
+        let ours = model_rate(
+            &graph,
+            case.factor,
+            case.paper_n,
+            threads,
+            best_config(&model, threads),
+            &model,
+        ) / 1e6;
+        let ratio = ours / claim.comparator_me_per_s;
+        println!(
+            "  [{id}] {}\n        ours {ours:.0} ME/s vs {} ME/s published => ratio {ratio:.2} \
+             (paper claims {:.1})",
+            claim.statement, claim.comparator_me_per_s, claim.claimed_ratio
+        );
+        report.push("table3", "ours ME/s", i as f64, ours, "ME/s");
+        report.push("table3", "published ME/s", i as f64, claim.comparator_me_per_s, "ME/s");
+        report.push("table3", "ratio", i as f64, ratio, "x");
+        report.push("table3", "paper ratio", i as f64, claim.claimed_ratio, "x");
+    }
+    if let Some(path) = &args.out {
+        match report.write_json(path) {
+            Ok(()) => eprintln!("# rows written to {}", path.display()),
+            Err(e) => eprintln!("# JSON dump failed ({e}); continuing"),
+        }
+    }
+}

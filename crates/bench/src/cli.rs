@@ -1,0 +1,168 @@
+//! Minimal command-line parsing shared by every figure binary.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --scale small|paper   workload sizes (default: small — seconds on a laptop)
+//! --mode model|native|both   execution mode (default: model)
+//! --threads 1,2,4,...   override the thread sweep
+//! --out PATH            write JSON rows to PATH (default: results/<exp>.json)
+//! --no-json             skip the JSON dump
+//! ```
+
+use std::path::PathBuf;
+
+/// Workload sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Host-feasible sizes (~1/64 of the paper's), default.
+    Small,
+    /// The paper's published sizes; refused when they cannot fit.
+    Paper,
+}
+
+/// Execution mode selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Machine-model predictions (reproduces the paper's machines).
+    Model,
+    /// Real threads on this host.
+    Native,
+    /// Both, printed side by side.
+    Both,
+}
+
+impl Mode {
+    /// `true` if model rows should be produced.
+    pub fn wants_model(self) -> bool {
+        matches!(self, Mode::Model | Mode::Both)
+    }
+
+    /// `true` if native rows should be produced.
+    pub fn wants_native(self) -> bool {
+        matches!(self, Mode::Native | Mode::Both)
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload sizing.
+    pub scale: Scale,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Optional thread-sweep override.
+    pub threads: Option<Vec<usize>>,
+    /// JSON output path (`None` disables the dump).
+    pub out: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parses `std::env::args` for the experiment named `experiment`
+    /// (used for the default JSON path). Exits with a usage message on
+    /// unknown flags.
+    pub fn parse(experiment: &str) -> Self {
+        Self::parse_from(experiment, std::env::args().skip(1))
+    }
+
+    /// Testable parser core.
+    pub fn parse_from<I: IntoIterator<Item = String>>(experiment: &str, args: I) -> Self {
+        let mut out = Self {
+            scale: Scale::Small,
+            mode: Mode::Model,
+            threads: None,
+            out: Some(PathBuf::from(format!("results/{experiment}.json"))),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = match it.next().as_deref() {
+                        Some("small") => Scale::Small,
+                        Some("paper") => Scale::Paper,
+                        other => usage(experiment, &format!("bad --scale {other:?}")),
+                    }
+                }
+                "--mode" => {
+                    out.mode = match it.next().as_deref() {
+                        Some("model") => Mode::Model,
+                        Some("native") => Mode::Native,
+                        Some("both") => Mode::Both,
+                        other => usage(experiment, &format!("bad --mode {other:?}")),
+                    }
+                }
+                "--threads" => {
+                    let spec = it.next().unwrap_or_default();
+                    let parsed: Result<Vec<usize>, _> =
+                        spec.split(',').map(|t| t.trim().parse()).collect();
+                    match parsed {
+                        Ok(v) if !v.is_empty() => out.threads = Some(v),
+                        _ => usage(experiment, &format!("bad --threads {spec:?}")),
+                    }
+                }
+                "--out" => {
+                    out.out = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage(experiment, "missing --out path")),
+                    ))
+                }
+                "--no-json" => out.out = None,
+                "--help" | "-h" => usage(experiment, ""),
+                other => usage(experiment, &format!("unknown flag {other:?}")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(experiment: &str, err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: {experiment} [--scale small|paper] [--mode model|native|both] \
+         [--threads 1,2,4] [--out PATH] [--no-json]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from("test", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.mode, Mode::Model);
+        assert!(a.threads.is_none());
+        assert_eq!(a.out.unwrap().to_str().unwrap(), "results/test.json");
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--scale", "paper", "--mode", "both", "--threads", "1,2,4", "--out", "/tmp/x.json",
+        ]);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.mode, Mode::Both);
+        assert_eq!(a.threads, Some(vec![1, 2, 4]));
+        assert_eq!(a.out.unwrap().to_str().unwrap(), "/tmp/x.json");
+    }
+
+    #[test]
+    fn no_json_disables_output() {
+        let a = parse(&["--no-json"]);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(Mode::Both.wants_model() && Mode::Both.wants_native());
+        assert!(Mode::Model.wants_model() && !Mode::Model.wants_native());
+        assert!(!Mode::Native.wants_model() && Mode::Native.wants_native());
+    }
+}

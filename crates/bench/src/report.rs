@@ -1,0 +1,317 @@
+//! Result reporting: aligned console tables + JSON rows.
+//!
+//! Each experiment produces a flat list of [`Row`]s (`series`, `x`, `y`);
+//! the reporter prints them pivoted into the same layout as the paper's
+//! figure (one column per series) and optionally dumps JSON consumed when
+//! assembling EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+/// One data point of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Experiment id, e.g. `"fig06a"`.
+    pub experiment: String,
+    /// Curve/series label, e.g. `"m=256M model"`.
+    pub series: String,
+    /// X coordinate (threads, working-set bytes, level, …).
+    pub x: f64,
+    /// Y value.
+    pub y: f64,
+    /// Unit of `y`, e.g. `"ME/s"`.
+    pub unit: String,
+}
+
+/// Collects rows for one experiment and renders them.
+#[derive(Debug, Default)]
+pub struct Report {
+    rows: Vec<Row>,
+    title: String,
+    x_label: String,
+}
+
+impl Report {
+    /// A report titled `title` whose x axis is `x_label`.
+    pub fn new(title: &str, x_label: &str) -> Self {
+        Self {
+            rows: Vec::new(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+        }
+    }
+
+    /// Adds one data point.
+    pub fn push(&mut self, experiment: &str, series: &str, x: f64, y: f64, unit: &str) {
+        self.rows.push(Row {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            x,
+            y,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// All collected rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Renders a pivoted table: one line per distinct `x`, one column per
+    /// series, in insertion order of the series.
+    pub fn to_table(&self) -> String {
+        let mut series: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !series.contains(&r.series.as_str()) {
+                series.push(&r.series);
+            }
+        }
+        let xs: BTreeSet<u64> = self.rows.iter().map(|r| r.x.to_bits()).collect();
+        let mut xs: Vec<f64> = xs.into_iter().map(f64::from_bits).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let unit = self.rows.first().map(|r| r.unit.as_str()).unwrap_or("");
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        if !unit.is_empty() {
+            out.push_str(&format!("# values in {unit}\n"));
+        }
+        out.push_str(&format!("{:>14}", self.x_label));
+        for s in &series {
+            out.push_str(&format!(" {s:>18}"));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{:>14}", format_x(x)));
+            for s in &series {
+                let v = self
+                    .rows
+                    .iter()
+                    .find(|r| r.series == *s && r.x.to_bits() == x.to_bits())
+                    .map(|r| r.y);
+                match v {
+                    Some(y) => out.push_str(&format!(" {:>18}", format_y(y))),
+                    None => out.push_str(&format!(" {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_table());
+    }
+
+    /// Writes the rows as a JSON array to `path`, creating parent
+    /// directories as needed.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        let json = serde_json::to_string_pretty(&self.rows).expect("rows serialize");
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Writes a gnuplot script + data file pair next to `path` (which
+    /// should end in `.gp`): `load` it in gnuplot to render the figure.
+    /// Series become columns of the `.dat` file; the x axis is
+    /// log-scaled when the x values span more than three decades (the
+    /// working-set sweeps).
+    pub fn write_gnuplot(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let dat_path = path.with_extension("dat");
+        // Pivot (same logic as the table): rows = x, columns = series.
+        let mut series: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !series.contains(&r.series.as_str()) {
+                series.push(&r.series);
+            }
+        }
+        let xs: BTreeSet<u64> = self.rows.iter().map(|r| r.x.to_bits()).collect();
+        let mut xs: Vec<f64> = xs.into_iter().map(f64::from_bits).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut dat = String::new();
+        dat.push_str("# x");
+        for s in &series {
+            dat.push_str(&format!("\t\"{s}\""));
+        }
+        dat.push('\n');
+        for &x in &xs {
+            dat.push_str(&format!("{x}"));
+            for s in &series {
+                match self
+                    .rows
+                    .iter()
+                    .find(|r| r.series == *s && r.x.to_bits() == x.to_bits())
+                {
+                    Some(r) => dat.push_str(&format!("\t{}", r.y)),
+                    None => dat.push_str("\t?"),
+                }
+            }
+            dat.push('\n');
+        }
+        std::fs::write(&dat_path, dat)?;
+        let unit = self.rows.first().map(|r| r.unit.as_str()).unwrap_or("");
+        let logscale = match (xs.first(), xs.last()) {
+            (Some(&lo), Some(&hi)) if lo > 0.0 && hi / lo > 1_000.0 => "set logscale x\n",
+            _ => "",
+        };
+        let mut gp = String::new();
+        gp.push_str(&format!("set title \"{}\"\n", self.title.replace('"', "'")));
+        gp.push_str(&format!("set xlabel \"{}\"\n", self.x_label));
+        gp.push_str(&format!("set ylabel \"{unit}\"\n"));
+        gp.push_str(logscale);
+        gp.push_str("set key outside\nset datafile missing \"?\"\nplot ");
+        let dat_name = dat_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("figure.dat");
+        let plots: Vec<String> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!("\"{dat_name}\" using 1:{} with linespoints title \"{s}\"", i + 2)
+            })
+            .collect();
+        gp.push_str(&plots.join(", \\\n     "));
+        gp.push('\n');
+        std::fs::write(path, gp)
+    }
+
+    /// Convenience: print, then dump JSON (and a gnuplot pair) if a path
+    /// was configured.
+    pub fn finish(&self, out: &Option<std::path::PathBuf>) {
+        self.print();
+        if let Some(path) = out {
+            match self.write_json(path) {
+                Ok(()) => eprintln!("# rows written to {}", path.display()),
+                Err(e) => eprintln!("# JSON dump failed ({e}); continuing"),
+            }
+            let gp = path.with_extension("gp");
+            match self.write_gnuplot(&gp) {
+                Ok(()) => eprintln!("# gnuplot script written to {}", gp.display()),
+                Err(e) => eprintln!("# gnuplot dump failed ({e}); continuing"),
+            }
+        }
+    }
+}
+
+/// Human-friendly x formatting: powers nicely, big numbers with suffixes.
+fn format_x(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e4 {
+        format!("{:.0}K", x / 1e3)
+    } else if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn format_y(y: f64) -> String {
+    if y == 0.0 {
+        "0".into()
+    } else if y.abs() >= 1e4 || y.abs() < 1e-2 {
+        format!("{y:.3e}")
+    } else {
+        format!("{y:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pivoted_table_layout() {
+        let mut r = Report::new("demo", "threads");
+        r.push("t", "a", 1.0, 10.0, "ME/s");
+        r.push("t", "a", 2.0, 20.0, "ME/s");
+        r.push("t", "b", 1.0, 5.0, "ME/s");
+        let t = r.to_table();
+        assert!(t.contains("# demo"));
+        assert!(t.contains("threads"));
+        assert!(t.contains("10.00"));
+        // series b has no x=2 point -> dash
+        let last_line = t.lines().last().unwrap();
+        assert!(last_line.contains('-'), "{t}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new("j", "x");
+        r.push("j", "s", 1.0, 2.0, "u");
+        let dir = std::env::temp_dir().join("mcbfs_report_test");
+        let path = dir.join("rows.json");
+        r.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<Row> = serde_json::from_str(&text).unwrap();
+        assert_eq!(rows, r.rows().to_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gnuplot_pair_renders_series_columns() {
+        let mut r = Report::new("gp demo", "threads");
+        r.push("g", "alpha", 1.0, 10.0, "ME/s");
+        r.push("g", "alpha", 2.0, 20.0, "ME/s");
+        r.push("g", "beta", 1.0, 5.0, "ME/s");
+        let dir = std::env::temp_dir().join("mcbfs_gnuplot_test");
+        let gp = dir.join("fig.gp");
+        r.write_gnuplot(&gp).unwrap();
+        let script = std::fs::read_to_string(&gp).unwrap();
+        assert!(script.contains("set title \"gp demo\""));
+        assert!(script.contains("using 1:2"));
+        assert!(script.contains("using 1:3"));
+        assert!(!script.contains("logscale"), "small x range stays linear");
+        let dat = std::fs::read_to_string(dir.join("fig.dat")).unwrap();
+        assert!(dat.contains("\"alpha\"\t\"beta\""));
+        assert!(dat.contains("2\t20\t?"), "missing beta point becomes ?: {dat}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gnuplot_logscale_for_wide_x_ranges() {
+        let mut r = Report::new("ws", "bytes");
+        r.push("g", "s", 4096.0, 1.0, "reads/s");
+        r.push("g", "s", 8.0e9, 2.0, "reads/s");
+        let dir = std::env::temp_dir().join("mcbfs_gnuplot_log_test");
+        let gp = dir.join("fig.gp");
+        r.write_gnuplot(&gp).unwrap();
+        assert!(std::fs::read_to_string(&gp).unwrap().contains("set logscale x"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn x_formatting() {
+        assert_eq!(format_x(4096.0), "4096");
+        assert_eq!(format_x(65536.0), "66K");
+        assert_eq!(format_x(2.0e6), "2.0M");
+        assert_eq!(format_x(8.0e9), "8.0G");
+        assert_eq!(format_x(1.5), "1.50");
+    }
+
+    #[test]
+    fn y_formatting() {
+        assert_eq!(format_y(0.0), "0");
+        assert_eq!(format_y(123.456), "123.46");
+        assert_eq!(format_y(1.23e7), "1.230e7");
+    }
+
+    #[test]
+    fn empty_report_renders_header_only() {
+        let r = Report::new("empty", "x");
+        let t = r.to_table();
+        assert!(t.starts_with("# empty"));
+    }
+}

@@ -1,0 +1,354 @@
+//! The workload catalogue: the paper's graph sweeps, at paper scale or at a
+//! host-feasible 1/256 scale (same vertex:edge ratios, same generator
+//! parameters, same seeds).
+//!
+//! Every case carries the `factor` mapping it back to the paper's sizes so
+//! the harness can extrapolate instrumented counts with
+//! [`crate::scale_profile`] and price the *paper-size* working sets.
+
+use crate::cli::Scale;
+use mcbfs_gen::prelude::*;
+use mcbfs_graph::csr::CsrGraph;
+
+/// Graph family of a benchmark case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Uniformly random, fixed out-degree (Figs. 6 and 8).
+    Uniform,
+    /// R-MAT scale-free (Figs. 7 and 9).
+    Rmat,
+}
+
+impl Family {
+    /// Display name used in series labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Uniform => "uniform",
+            Family::Rmat => "rmat",
+        }
+    }
+}
+
+/// One graph configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct BfsCase {
+    /// Series label, e.g. `"m=256M"`.
+    pub label: String,
+    /// Generator family.
+    pub family: Family,
+    /// Vertices actually built (scaled).
+    pub n: usize,
+    /// Generated out-degree per vertex.
+    pub degree: usize,
+    /// Multiplier back to paper scale (1 at `--scale paper`).
+    pub factor: u64,
+    /// The paper's vertex count for this case.
+    pub paper_n: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl BfsCase {
+    /// Builds the (scaled) graph.
+    pub fn build(&self) -> CsrGraph {
+        match self.family {
+            Family::Uniform => UniformBuilder::new(self.n, self.degree).seed(self.seed).build(),
+            Family::Rmat => {
+                let scale = (self.n as f64).log2().round() as u32;
+                // Graph500-style relabeling: keeps block partitions
+                // balanced, as any serious R-MAT benchmarking setup does.
+                RmatBuilder::new(scale, self.degree).seed(self.seed).permute(true).build()
+            }
+        }
+    }
+
+    /// The paper's edge count for this case (generated, pre-mirroring).
+    pub fn paper_m(&self) -> u64 {
+        self.paper_n * self.degree as u64
+    }
+}
+
+/// Scale divisor: paper sizes divided by this when `--scale small`.
+pub const SMALL_DIVISOR: u64 = 256;
+
+fn scaled(paper_n: u64, scale: Scale) -> (usize, u64) {
+    match scale {
+        Scale::Paper => (paper_n as usize, 1),
+        Scale::Small => (((paper_n / SMALL_DIVISOR) as usize).max(1 << 10), {
+            let n = ((paper_n / SMALL_DIVISOR) as usize).max(1 << 10) as u64;
+            paper_n / n
+        }),
+    }
+}
+
+/// Edge-count label in the paper's units (binary mega/giga, as the paper's
+/// "32 million vertices" are 2^25).
+fn m_label(m: u64) -> String {
+    if m >= 1 << 30 {
+        format!("m={}B", m >> 30)
+    } else {
+        format!("m={}M", m >> 20)
+    }
+}
+
+/// The rate/scalability sweep of Figs. 6a/b, 7a/b, 8a/b, 9a/b: 32 M
+/// vertices, 256 M – 1 B edges (arities 8, 16, 24, 32).
+pub fn rate_cases(family: Family, scale: Scale) -> Vec<BfsCase> {
+    let paper_n: u64 = 32 << 20; // 32 Mi ≈ the paper's 32M
+    let (n, factor) = scaled(paper_n, scale);
+    [8usize, 16, 24, 32]
+        .iter()
+        .map(|&degree| BfsCase {
+            label: m_label(paper_n * degree as u64),
+            family,
+            n,
+            degree,
+            factor,
+            paper_n,
+            seed: 1_000 + degree as u64,
+        })
+        .collect()
+}
+
+/// The graph-size sensitivity sweep of Figs. 6c, 7c, 8c, 9c: edges fixed
+/// (256 M and 1 B), vertices 1 M – 32 M.
+pub fn size_cases(family: Family, scale: Scale) -> Vec<BfsCase> {
+    let mut cases = Vec::new();
+    for &paper_m in &[256u64 << 20, 1u64 << 30] {
+        for shift in 20..=25u32 {
+            let paper_n = 1u64 << shift;
+            let degree = (paper_m / paper_n) as usize;
+            if degree == 0 {
+                continue;
+            }
+            let (n, factor) = scaled(paper_n, scale);
+            cases.push(BfsCase {
+                label: m_label(paper_m),
+                family,
+                n,
+                degree,
+                factor,
+                paper_n,
+                seed: 2_000 + shift as u64,
+            });
+        }
+    }
+    cases
+}
+
+/// Fig. 4's workload: a uniformly random graph with 16 M edges and average
+/// arity 8 (n = 2 M), scaled down by 8 at `--scale small` so the native
+/// instrumented run stays fast.
+pub fn fig4_case(scale: Scale) -> BfsCase {
+    let paper_n: u64 = 2 << 20;
+    let (n, factor) = match scale {
+        Scale::Paper => (paper_n as usize, 1),
+        Scale::Small => ((paper_n / 8) as usize, 8),
+    };
+    BfsCase {
+        label: "uniform n=2M m=16M".into(),
+        family: Family::Uniform,
+        n,
+        degree: 8,
+        factor,
+        paper_n,
+        seed: 4_444,
+    }
+}
+
+/// The Fig. 5 optimization-study workload: the 32 M-vertex uniform class at
+/// arity 8.
+pub fn fig5_case(scale: Scale) -> BfsCase {
+    rate_cases(Family::Uniform, scale).remove(0)
+}
+
+/// Workloads of the paper's three headline claims (Table III / abstract).
+pub fn headline_cases(scale: Scale) -> Vec<(&'static str, BfsCase)> {
+    let mut out = Vec::new();
+    // (1) XMT comparison: uniform, n = 64M, m = 512M (arity 8).
+    {
+        let paper_n = 64u64 << 20;
+        let (n, factor) = scaled(paper_n, scale);
+        out.push((
+            "xmt-2.4x",
+            BfsCase {
+                label: "uniform n=64M m=512M".into(),
+                family: Family::Uniform,
+                n,
+                degree: 8,
+                factor,
+                paper_n,
+                seed: 64,
+            },
+        ));
+    }
+    // (2) MTA-2 comparison: R-MAT, n = 200M, m = 1B (arity 5). 200M is not
+    // a power of two; we use 2^27·1.5 ≈ 201M at paper scale and 2^20 scaled.
+    {
+        let paper_n = 200u64 << 20;
+        let (n, factor) = match scale {
+            Scale::Paper => (paper_n as usize, 1),
+            Scale::Small => (1usize << 20, paper_n / (1 << 20)),
+        };
+        out.push((
+            "mta2-parity",
+            BfsCase {
+                label: "rmat n=200M m=1B".into(),
+                family: Family::Rmat,
+                n,
+                degree: 5,
+                factor,
+                paper_n,
+                seed: 200,
+            },
+        ));
+    }
+    // (3) BlueGene/L comparison: average degree 50.
+    {
+        let paper_n = 32u64 << 20;
+        let (n, factor) = scaled(paper_n, scale);
+        out.push((
+            "bgl-5x",
+            BfsCase {
+                label: "uniform d=50".into(),
+                family: Family::Uniform,
+                n,
+                degree: 50,
+                factor,
+                paper_n,
+                seed: 50,
+            },
+        ));
+    }
+    out
+}
+
+/// Estimated resident bytes for building + searching a case (CSR with
+/// mirrored edges, parents, bitmap, queues). Used to refuse `--scale paper`
+/// runs that cannot fit on the host.
+pub fn estimated_bytes(case: &BfsCase) -> u64 {
+    let n = case.n as u64;
+    let m_directed = 2 * n * case.degree as u64;
+    // edge list (8 B) + CSR targets (4 B) + offsets (8 B/vertex) + parents,
+    // queues, bitmap.
+    m_directed * 12 + n * 8 + n * 4 * 3 + n / 8
+}
+
+/// Bytes of memory this host reports as available (total RAM; a
+/// conservative ceiling for refusal checks).
+pub fn host_memory_bytes() -> u64 {
+    if let Ok(text) = std::fs::read_to_string("/proc/meminfo") {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("MemTotal:") {
+                if let Some(kb) = rest.split_whitespace().next() {
+                    if let Ok(kb) = kb.parse::<u64>() {
+                        return kb * 1024;
+                    }
+                }
+            }
+        }
+    }
+    8 << 30
+}
+
+/// Panics with a clear message when a paper-scale case cannot fit.
+pub fn check_fits(case: &BfsCase) {
+    let need = estimated_bytes(case);
+    let have = host_memory_bytes();
+    assert!(
+        need < have / 2,
+        "case '{}' needs ~{} GB but the host has {} GB; rerun with --scale small \
+         (model-mode results are extrapolated to paper scale either way)",
+        case.label,
+        need >> 30,
+        have >> 30
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_cases_cover_paper_edge_counts() {
+        let cases = rate_cases(Family::Uniform, Scale::Small);
+        let labels: Vec<_> = cases.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels, vec!["m=256M", "m=512M", "m=768M", "m=1B"]);
+        for c in &cases {
+            assert_eq!(c.factor * c.n as u64, c.paper_n);
+            assert_eq!(c.paper_m(), c.paper_n * c.degree as u64);
+        }
+    }
+
+    #[test]
+    fn size_cases_hold_edges_fixed() {
+        let cases = size_cases(Family::Rmat, Scale::Small);
+        assert!(!cases.is_empty());
+        for c in &cases {
+            let paper_m = c.paper_n * c.degree as u64;
+            assert!(paper_m == 256 << 20 || paper_m == 1 << 30, "{paper_m}");
+        }
+        // Vertex counts span 1M..32M at paper scale.
+        let ns: Vec<u64> = cases.iter().map(|c| c.paper_n).collect();
+        assert!(ns.contains(&(1 << 20)));
+        assert!(ns.contains(&(32 << 20)));
+    }
+
+    #[test]
+    fn paper_scale_factor_is_one() {
+        let cases = rate_cases(Family::Uniform, Scale::Paper);
+        assert!(cases.iter().all(|c| c.factor == 1 && c.n as u64 == c.paper_n));
+    }
+
+    #[test]
+    fn small_cases_build_quickly_and_match_arity() {
+        let case = &rate_cases(Family::Uniform, Scale::Small)[0];
+        let g = case.build();
+        assert_eq!(g.num_vertices(), case.n);
+        // Undirected mirroring ⇒ avg degree ≈ 2 × generated out-degree.
+        assert!((g.avg_degree() - 2.0 * case.degree as f64).abs() < 0.5);
+    }
+
+    #[test]
+    fn rmat_case_builds_power_of_two() {
+        let case = &rate_cases(Family::Rmat, Scale::Small)[0];
+        let g = case.build();
+        assert!(g.num_vertices().is_power_of_two());
+    }
+
+    #[test]
+    fn headline_cases_present() {
+        let cases = headline_cases(Scale::Small);
+        let ids: Vec<_> = cases.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec!["xmt-2.4x", "mta2-parity", "bgl-5x"]);
+    }
+
+    #[test]
+    fn memory_estimate_is_sane() {
+        let case = &rate_cases(Family::Uniform, Scale::Small)[0];
+        let est = estimated_bytes(case);
+        assert!(est > 1 << 20 && est < 4 << 30, "estimate {est}");
+        check_fits(case); // must not panic at small scale
+    }
+
+    #[test]
+    #[should_panic(expected = "rerun with --scale small")]
+    fn paper_scale_refused_on_small_host() {
+        // 32M vertices * degree 32 mirrored is far beyond this host.
+        let case = &rate_cases(Family::Uniform, Scale::Paper)[3];
+        if estimated_bytes(case) < host_memory_bytes() / 2 {
+            // A machine with ~TB of RAM would legitimately pass; fake the
+            // panic so the test is meaningful everywhere.
+            panic!("rerun with --scale small (host large enough to fit)");
+        }
+        check_fits(case);
+    }
+
+    #[test]
+    fn fig4_case_matches_paper_shape() {
+        let c = fig4_case(Scale::Small);
+        assert_eq!(c.degree, 8);
+        assert_eq!(c.paper_n, 2 << 20);
+        assert_eq!(c.factor * c.n as u64, c.paper_n);
+    }
+}

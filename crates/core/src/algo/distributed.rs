@@ -1,0 +1,309 @@
+//! Distributed-memory BFS — the paper's stated extension (§V: "we plan to
+//! extend the algorithmic design ... to map the graph exploration on
+//! distributed-memory machines ... with lightweight PGAS programming
+//! languages").
+//!
+//! Algorithm 3 generalizes directly: replace "socket" with "rank", make
+//! *all* state rank-private (each rank is single-threaded here, so visited
+//! marking needs no atomics at all), and route every remote discovery
+//! through the same batched channels — which on a real cluster would be
+//! PGAS puts. The implementation shares nothing between ranks except the
+//! immutable graph (standing in for each rank holding its partition's
+//! adjacency) and the channel mesh (standing in for the interconnect).
+//!
+//! This demonstrates the paper's claim that the two-phase channel design
+//! "can be easily generalized to distributed memory machines": the code is
+//! structurally the multi-socket algorithm with the socket-local atomics
+//! deleted.
+
+use crate::algo::NativeRun;
+use crate::instrument::Recorder;
+use mcbfs_graph::csr::{CsrGraph, VertexId, UNVISITED};
+use mcbfs_graph::partition::VertexPartition;
+use mcbfs_machine::profile::ThreadCounts;
+use mcbfs_sync::barrier::SpinBarrier;
+use mcbfs_sync::channel::ChannelMatrix;
+use mcbfs_sync::pool::scoped_run;
+use mcbfs_sync::ticket::TicketLock;
+use std::time::Instant;
+
+/// Configuration for the distributed BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedOpts {
+    /// Number of single-threaded ranks (address spaces).
+    pub ranks: usize,
+    /// Channel batch size for remote discoveries.
+    pub batch: usize,
+    /// Channel ring capacity per rank pair.
+    pub channel_capacity: usize,
+}
+
+impl Default for DistributedOpts {
+    fn default() -> Self {
+        Self {
+            ranks: 4,
+            batch: 256,
+            channel_capacity: 1 << 12,
+        }
+    }
+}
+
+/// Per-rank private state: parents and visited flags for the owned block
+/// only, indexed by local offset. No atomics — a rank is one thread.
+struct RankState {
+    parents: Vec<VertexId>,
+    visited: Vec<bool>,
+    base: usize,
+}
+
+/// Runs the PGAS-style distributed BFS from `root` on `opts.ranks` ranks.
+pub fn bfs_distributed(graph: &CsrGraph, root: VertexId, opts: DistributedOpts) -> NativeRun {
+    let n = graph.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range 0..{n}");
+    let ranks = opts.ranks.max(1);
+    let batch = opts.batch.max(1);
+    let partition = VertexPartition::new(n, ranks);
+    let links = ChannelMatrix::<(VertexId, VertexId)>::new(ranks, opts.channel_capacity);
+    let overflows: Vec<TicketLock<Vec<(VertexId, VertexId)>>> =
+        (0..ranks * ranks).map(|_| TicketLock::new(Vec::new())).collect();
+    let barrier = SpinBarrier::new(ranks);
+    type Gathered = Vec<(usize, Vec<VertexId>, u64, u64)>;
+    // Termination allreduce: ranks with a non-empty next frontier bump the
+    // current level's counter; counters ping-pong by level parity so the
+    // leader can reset the *next* level's counter race-free.
+    let nonempty = [
+        core::sync::atomic::AtomicUsize::new(0),
+        core::sync::atomic::AtomicUsize::new(0),
+    ];
+    let recorder = Recorder::new(ranks, ranks, 3);
+    // Per-rank results are gathered at the end (each rank owns a block).
+    let gathered: TicketLock<Gathered> = TicketLock::new(Vec::new());
+
+    let start = Instant::now();
+    scoped_run(ranks, None, |rank| {
+        let range = partition.range(rank);
+        let mut state = RankState {
+            parents: vec![UNVISITED; range.len()],
+            visited: vec![false; range.len()],
+            base: range.start,
+        };
+        let mut frontier: Vec<VertexId> = Vec::new();
+        let mut next: Vec<VertexId> = Vec::new();
+        if partition.socket_of(root) == rank {
+            let local = partition.local_index(root);
+            state.parents[local] = root;
+            state.visited[local] = true;
+            frontier.push(root);
+        }
+        let mut series: Vec<ThreadCounts> = Vec::new();
+        let mut send_bufs: Vec<Vec<(VertexId, VertexId)>> =
+            (0..ranks).map(|_| Vec::with_capacity(batch)).collect();
+        let mut scratch: Vec<(VertexId, VertexId)> = Vec::with_capacity(1024);
+        let mut local_edges = 0u64;
+        let mut local_visited = if frontier.is_empty() { 0u64 } else { 1 };
+
+        loop {
+            let mut counts = ThreadCounts::default();
+
+            // ---- Phase 1: scan the owned frontier. ----
+            for &u in &frontier {
+                counts.vertices_scanned += 1;
+                for &v in graph.neighbors(u) {
+                    counts.edges_scanned += 1;
+                    let owner = partition.socket_of(v);
+                    if owner == rank {
+                        counts.bitmap_reads += 1;
+                        let local = v as usize - state.base;
+                        if !state.visited[local] {
+                            state.visited[local] = true;
+                            state.parents[local] = u;
+                            local_visited += 1;
+                            counts.parent_writes += 1;
+                            counts.queue_pushes += 1;
+                            next.push(v);
+                        }
+                    } else {
+                        let buf = &mut send_bufs[owner];
+                        buf.push((v, u));
+                        counts.channel_items += 1;
+                        if buf.len() >= batch {
+                            counts.channel_batches += 1;
+                            let sent = links.channel(rank, owner).try_send_batch(buf);
+                            if sent < buf.len() {
+                                overflows[rank * ranks + owner]
+                                    .lock()
+                                    .extend_from_slice(&buf[sent..]);
+                            }
+                            buf.clear();
+                        }
+                    }
+                }
+            }
+            for owner in 0..ranks {
+                if owner != rank && !send_bufs[owner].is_empty() {
+                    counts.channel_batches += 1;
+                    let buf = &mut send_bufs[owner];
+                    let sent = links.channel(rank, owner).try_send_batch(buf);
+                    if sent < buf.len() {
+                        overflows[rank * ranks + owner].lock().extend_from_slice(&buf[sent..]);
+                    }
+                    buf.clear();
+                }
+            }
+            barrier.wait();
+
+            // ---- Phase 2: apply incoming discoveries (all local now). ----
+            for from in 0..ranks {
+                if from == rank {
+                    continue;
+                }
+                let ch = links.channel(from, rank);
+                loop {
+                    scratch.clear();
+                    if ch.recv_batch(&mut scratch, 1024) == 0 {
+                        break;
+                    }
+                    for &(v, u) in &scratch {
+                        counts.channel_drained += 1;
+                        counts.bitmap_reads += 1;
+                        let local = v as usize - state.base;
+                        if !state.visited[local] {
+                            state.visited[local] = true;
+                            state.parents[local] = u;
+                            local_visited += 1;
+                            counts.parent_writes += 1;
+                            counts.queue_pushes += 1;
+                            next.push(v);
+                        }
+                    }
+                }
+                let spilled = core::mem::take(&mut *overflows[from * ranks + rank].lock());
+                for (v, u) in spilled {
+                    counts.channel_drained += 1;
+                    counts.bitmap_reads += 1;
+                    let local = v as usize - state.base;
+                    if !state.visited[local] {
+                        state.visited[local] = true;
+                        state.parents[local] = u;
+                        local_visited += 1;
+                        counts.parent_writes += 1;
+                        counts.queue_pushes += 1;
+                        next.push(v);
+                    }
+                }
+            }
+            local_edges += counts.edges_scanned;
+
+            // ---- Global termination: allreduce of "my next is empty"
+            // (on a cluster this would be an MPI_Allreduce / PGAS
+            // collective). Counters ping-pong by level parity.
+            let lvl = series.len();
+            if !next.is_empty() {
+                nonempty[lvl % 2].fetch_add(1, core::sync::atomic::Ordering::AcqRel);
+            }
+            series.push(counts);
+            barrier.wait();
+            let done = nonempty[lvl % 2].load(core::sync::atomic::Ordering::Acquire) == 0;
+            if barrier.wait() {
+                // The leader resets the next level's counter before anyone
+                // can reach that level's increments (they must first pass
+                // the next phase-1 barrier, which needs the leader too).
+                nonempty[(lvl + 1) % 2].store(0, core::sync::atomic::Ordering::Release);
+            }
+            core::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            if done {
+                break;
+            }
+        }
+        recorder.deposit(rank, series);
+        gathered.lock().push((rank, state.parents, local_edges, local_visited));
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    // Gather: stitch the per-rank parent blocks into the global array.
+    let mut parents = vec![UNVISITED; n];
+    let mut edges_traversed = 0u64;
+    let mut visited = 0u64;
+    let mut blocks = gathered.into_inner();
+    blocks.sort_unstable_by_key(|&(rank, ..)| rank);
+    for (rank, block, e, v) in blocks {
+        let range = partition.range(rank);
+        parents[range].copy_from_slice(&block);
+        edges_traversed += e;
+        visited += v;
+    }
+    let profile = recorder.into_profile(n as u64, n as u64, true, edges_traversed);
+    NativeRun {
+        parents,
+        profile,
+        seconds,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::validate_bfs_tree;
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let g = UniformBuilder::new(2_000, 6).seed(21).build();
+        let seq = crate::algo::sequential::bfs_sequential(&g, 3);
+        for ranks in [1usize, 2, 4, 7] {
+            let run = bfs_distributed(&g, 3, DistributedOpts { ranks, ..Default::default() });
+            validate_bfs_tree(&g, 3, &run.parents)
+                .unwrap_or_else(|e| panic!("ranks {ranks}: {e}"));
+            assert_eq!(run.visited, seq.visited, "ranks {ranks}");
+            assert_eq!(
+                run.profile.edges_traversed, seq.profile.edges_traversed,
+                "ranks {ranks}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_on_rmat() {
+        let g = RmatBuilder::new(10, 8).seed(22).build();
+        let run = bfs_distributed(&g, 0, DistributedOpts::default());
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        let t = run.profile.total();
+        assert!(t.channel_items > 0);
+        assert_eq!(t.channel_items, t.channel_drained);
+        // Ranks are single-threaded and state is private: zero atomics in
+        // the visit path (only channel/barrier machinery uses them).
+        assert_eq!(t.atomic_ops, 0);
+    }
+
+    #[test]
+    fn distributed_disconnected_graph() {
+        let g = mcbfs_graph::csr::CsrGraph::from_edges_symmetric(100, &[(0, 1), (98, 99)]);
+        let run = bfs_distributed(&g, 99, DistributedOpts { ranks: 4, ..Default::default() });
+        assert_eq!(run.visited, 2);
+        validate_bfs_tree(&g, 99, &run.parents).unwrap();
+    }
+
+    #[test]
+    fn distributed_root_on_last_rank() {
+        let g = UniformBuilder::new(1_001, 4).seed(23).build();
+        let run = bfs_distributed(&g, 1_000, DistributedOpts { ranks: 3, ..Default::default() });
+        validate_bfs_tree(&g, 1_000, &run.parents).unwrap();
+    }
+
+    #[test]
+    fn distributed_tiny_channels_exercise_overflow() {
+        let g = UniformBuilder::new(1_500, 8).seed(24).build();
+        let run = bfs_distributed(
+            &g,
+            0,
+            DistributedOpts {
+                ranks: 4,
+                batch: 8,
+                channel_capacity: 2,
+            },
+        );
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+    }
+}

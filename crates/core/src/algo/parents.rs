@@ -1,0 +1,117 @@
+//! The shared atomic parent array.
+//!
+//! Algorithm 1 claims vertices directly in this array (compare-exchange
+//! from [`UNVISITED`]); Algorithms 2–3 claim through the bitmap and then
+//! merely *store* here, because the bitmap already serialized ownership.
+
+use core::sync::atomic::{AtomicU32, Ordering};
+use mcbfs_graph::csr::{VertexId, UNVISITED};
+
+/// A concurrently-writable parent array.
+pub struct AtomicParents {
+    slots: Vec<AtomicU32>,
+}
+
+impl AtomicParents {
+    /// `n` slots, all initialized to [`UNVISITED`].
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the array has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Atomically claims `v` for parent `parent`: succeeds only if `v` was
+    /// unvisited. This is the Algorithm 1 path (one `lock cmpxchg` per
+    /// discovery attempt).
+    #[inline]
+    pub fn try_claim(&self, v: VertexId, parent: VertexId) -> bool {
+        self.slots[v as usize]
+            .compare_exchange(UNVISITED, parent, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Plain store — used after bitmap-based claiming already guaranteed
+    /// exclusive ownership of `v`.
+    #[inline]
+    pub fn store(&self, v: VertexId, parent: VertexId) {
+        self.slots[v as usize].store(parent, Ordering::Relaxed);
+    }
+
+    /// Plain load.
+    #[inline]
+    pub fn load(&self, v: VertexId) -> VertexId {
+        self.slots[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// `true` if `v` has been claimed (visited).
+    #[inline]
+    pub fn is_visited(&self, v: VertexId) -> bool {
+        self.load(v) != UNVISITED
+    }
+
+    /// Unwraps into a plain vector at the end of the run.
+    pub fn into_vec(self) -> Vec<VertexId> {
+        self.slots.into_iter().map(AtomicU32::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn claim_succeeds_once() {
+        let p = AtomicParents::new(4);
+        assert!(!p.is_visited(2));
+        assert!(p.try_claim(2, 0));
+        assert!(!p.try_claim(2, 1));
+        assert_eq!(p.load(2), 0);
+        assert!(p.is_visited(2));
+    }
+
+    #[test]
+    fn store_and_into_vec() {
+        let p = AtomicParents::new(3);
+        p.store(0, 0);
+        p.store(2, 1);
+        assert_eq!(p.into_vec(), vec![0, UNVISITED, 1]);
+    }
+
+    #[test]
+    fn concurrent_claims_have_single_winner() {
+        let p = AtomicParents::new(1024);
+        let wins: Vec<AtomicUsize> = (0..1024).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let p = &p;
+                let wins = &wins;
+                s.spawn(move || {
+                    for v in 0..1024u32 {
+                        if p.try_claim(v, t) {
+                            wins[v as usize].fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(wins.iter().all(|w| w.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_array() {
+        let p = AtomicParents::new(0);
+        assert!(p.is_empty());
+        assert!(p.into_vec().is_empty());
+    }
+}

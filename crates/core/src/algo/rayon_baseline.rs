@@ -1,0 +1,107 @@
+//! A rayon-based BFS baseline — "what you'd write without the paper".
+//!
+//! Level-synchronous BFS using rayon's parallel iterators over the
+//! frontier, an atomic bitmap for claims, and `collect` for the next
+//! frontier. No pinned pool, no chunk reservations, no channels: this is
+//! the idiomatic data-parallel formulation a Rust developer reaches for
+//! first, and the fair "generic parallel runtime" comparator for the
+//! paper's hand-tuned design in the benchmark suite.
+
+use crate::algo::parents::AtomicParents;
+use crate::algo::NativeRun;
+use crate::instrument::Recorder;
+use mcbfs_graph::bitmap::AtomicBitmap;
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_machine::profile::ThreadCounts;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Runs the rayon baseline from `root`. Thread count is rayon's global
+/// pool (configure with `RAYON_NUM_THREADS` if needed).
+pub fn bfs_rayon(graph: &CsrGraph, root: VertexId) -> NativeRun {
+    let n = graph.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range 0..{n}");
+    let start = Instant::now();
+    let parents = AtomicParents::new(n);
+    parents.store(root, root);
+    let bitmap = AtomicBitmap::new(n);
+    bitmap.set_atomic(root as usize);
+    let mut frontier: Vec<VertexId> = vec![root];
+    let mut series: Vec<ThreadCounts> = Vec::new();
+    let mut edges_traversed = 0u64;
+    let mut visited = 1u64;
+    while !frontier.is_empty() {
+        let (bitmap, parents) = (&bitmap, &parents);
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                graph.neighbors(u).iter().filter_map(move |&v| {
+                    // claim() applies the same test-then-set discipline.
+                    if bitmap.claim(v as usize).claimed() {
+                        parents.store(v, u);
+                        Some(v)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        // Aggregate level counts (rayon hides per-thread attribution, so
+        // the profile carries totals on virtual thread 0 — this baseline
+        // exists for wall-clock comparison, not for the cost model).
+        let level_edges: u64 = frontier.iter().map(|&u| graph.degree(u) as u64).sum();
+        edges_traversed += level_edges;
+        visited += next.len() as u64;
+        let mut counts = ThreadCounts::default();
+        counts.vertices_scanned = frontier.len() as u64;
+        counts.edges_scanned = level_edges;
+        counts.bitmap_reads = level_edges;
+        counts.parent_writes = next.len() as u64;
+        counts.queue_pushes = next.len() as u64;
+        series.push(counts);
+        frontier = next;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let recorder = Recorder::new(1, 1, 1);
+    recorder.deposit(0, series);
+    let profile = recorder.into_profile(n as u64, (n as u64).div_ceil(8), true, edges_traversed);
+    NativeRun {
+        parents: parents.into_vec(),
+        profile,
+        seconds,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::validate_bfs_tree;
+
+    #[test]
+    fn rayon_baseline_is_correct() {
+        let g = RmatBuilder::new(10, 6).seed(61).build();
+        let run = bfs_rayon(&g, 0);
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        let seq = crate::algo::sequential::bfs_sequential(&g, 0);
+        assert_eq!(run.visited, seq.visited);
+        assert_eq!(run.profile.edges_traversed, seq.profile.edges_traversed);
+    }
+
+    #[test]
+    fn rayon_baseline_on_disconnected_graph() {
+        let g = CsrGraph::from_edges_symmetric(50, &[(0, 1), (30, 31)]);
+        let run = bfs_rayon(&g, 30);
+        assert_eq!(run.visited, 2);
+        validate_bfs_tree(&g, 30, &run.parents).unwrap();
+    }
+
+    #[test]
+    fn rayon_baseline_single_vertex() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let run = bfs_rayon(&g, 0);
+        assert_eq!(run.parents, vec![0]);
+        assert_eq!(run.profile.num_levels(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Instrumentation: operation counting shared by every algorithm variant.
+//!
+//! Counters are plain (thread-local) integers — counting must not perturb
+//! what is being counted, so there are no atomics on the hot path. Each
+//! worker accumulates a [`ThreadCounts`] per BFS level and deposits its
+//! series once at the end of the run; [`Recorder`] assembles the per-level
+//! × per-thread [`WorkProfile`] the machine model consumes, and
+//! [`BfsStats`] summarizes a run for humans.
+
+use mcbfs_machine::profile::{LevelProfile, ThreadCounts, WorkProfile};
+use mcbfs_sync::ticket::TicketLock;
+use serde::{Deserialize, Serialize};
+
+/// Human-facing summary of one BFS execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BfsStats {
+    /// Wall-clock seconds (native executor) or predicted seconds (model).
+    pub seconds: f64,
+    /// Edges traversed (`ma` — scanned adjacency entries of visited
+    /// vertices), the numerator of the paper's rate metric.
+    pub edges_traversed: u64,
+    /// Vertices reached, including the root.
+    pub vertices_visited: u64,
+    /// BFS levels executed.
+    pub levels: u32,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Socket groups used.
+    pub sockets: usize,
+    /// Aggregate operation counts over the whole run.
+    pub totals: ThreadCounts,
+}
+
+impl BfsStats {
+    /// Edges per second — the unit of every figure in the paper.
+    pub fn edges_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.edges_traversed as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Millions of edges per second (the paper's "ME/s").
+    pub fn me_per_s(&self) -> f64 {
+        self.edges_per_second() / 1e6
+    }
+}
+
+/// Collects per-thread level series and assembles a [`WorkProfile`].
+pub struct Recorder {
+    threads: usize,
+    sockets: usize,
+    barriers_per_level: u32,
+    deposits: TicketLock<Vec<(usize, Vec<ThreadCounts>)>>,
+}
+
+impl Recorder {
+    /// A recorder for `threads` workers grouped into `sockets`, where each
+    /// level performs `barriers_per_level` barrier episodes.
+    pub fn new(threads: usize, sockets: usize, barriers_per_level: u32) -> Self {
+        Self {
+            threads,
+            sockets,
+            barriers_per_level,
+            deposits: TicketLock::new(Vec::new()),
+        }
+    }
+
+    /// Deposits thread `tid`'s per-level count series (called once per
+    /// thread, at the end of the parallel region).
+    pub fn deposit(&self, tid: usize, series: Vec<ThreadCounts>) {
+        self.deposits.lock().push((tid, series));
+    }
+
+    /// Assembles the profile. `num_vertices`, `visited_bytes` and
+    /// `pipelined` describe the variant's working-set structure for the
+    /// cost model; `edges_traversed` is the run's `ma`.
+    pub fn into_profile(
+        self,
+        num_vertices: u64,
+        visited_bytes: u64,
+        pipelined: bool,
+        edges_traversed: u64,
+    ) -> WorkProfile {
+        let deposits = self.deposits.into_inner();
+        let num_levels = deposits.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        let mut levels: Vec<LevelProfile> = (0..num_levels)
+            .map(|_| LevelProfile::new(self.threads, self.barriers_per_level))
+            .collect();
+        for (tid, series) in deposits {
+            for (l, counts) in series.into_iter().enumerate() {
+                levels[l].threads[tid] = counts;
+            }
+        }
+        WorkProfile {
+            levels,
+            threads: self.threads,
+            sockets: self.sockets,
+            num_vertices,
+            visited_bytes,
+            pipelined,
+            sharded_state: true,
+            edges_traversed,
+        }
+    }
+}
+
+/// Derives a [`BfsStats`] from a finished profile and measured time.
+pub fn stats_from_profile(profile: &WorkProfile, seconds: f64, vertices_visited: u64) -> BfsStats {
+    BfsStats {
+        seconds,
+        edges_traversed: profile.edges_traversed,
+        vertices_visited,
+        levels: profile.num_levels() as u32,
+        threads: profile.threads,
+        sockets: profile.sockets,
+        totals: profile.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rate_math() {
+        let s = BfsStats {
+            seconds: 2.0,
+            edges_traversed: 10_000_000,
+            vertices_visited: 100,
+            levels: 3,
+            threads: 4,
+            sockets: 1,
+            totals: ThreadCounts::default(),
+        };
+        assert_eq!(s.edges_per_second(), 5_000_000.0);
+        assert_eq!(s.me_per_s(), 5.0);
+    }
+
+    #[test]
+    fn zero_seconds_rate_is_zero() {
+        let s = BfsStats {
+            seconds: 0.0,
+            edges_traversed: 5,
+            vertices_visited: 1,
+            levels: 0,
+            threads: 1,
+            sockets: 1,
+            totals: ThreadCounts::default(),
+        };
+        assert_eq!(s.edges_per_second(), 0.0);
+    }
+
+    #[test]
+    fn recorder_assembles_profile_by_tid_and_level() {
+        let rec = Recorder::new(2, 1, 1);
+        let c = |x: u64| ThreadCounts {
+            edges_scanned: x,
+            ..Default::default()
+        };
+        rec.deposit(1, vec![c(10), c(20)]);
+        rec.deposit(0, vec![c(1)]); // thread 0 went idle after level 0
+        let profile = rec.into_profile(100, 13, true, 31);
+        assert_eq!(profile.num_levels(), 2);
+        assert_eq!(profile.levels[0].threads[0].edges_scanned, 1);
+        assert_eq!(profile.levels[0].threads[1].edges_scanned, 10);
+        assert_eq!(profile.levels[1].threads[0].edges_scanned, 0);
+        assert_eq!(profile.levels[1].threads[1].edges_scanned, 20);
+        assert_eq!(profile.edges_traversed, 31);
+        assert!(profile.pipelined);
+    }
+
+    #[test]
+    fn recorder_with_no_deposits_is_empty() {
+        let rec = Recorder::new(3, 1, 2);
+        let profile = rec.into_profile(10, 2, false, 0);
+        assert_eq!(profile.num_levels(), 0);
+        assert_eq!(profile.threads, 3);
+    }
+
+    #[test]
+    fn stats_from_profile_copies_fields() {
+        let rec = Recorder::new(1, 1, 1);
+        rec.deposit(0, vec![ThreadCounts { edges_scanned: 7, ..Default::default() }]);
+        let profile = rec.into_profile(10, 2, true, 7);
+        let stats = stats_from_profile(&profile, 0.5, 4);
+        assert_eq!(stats.levels, 1);
+        assert_eq!(stats.totals.edges_scanned, 7);
+        assert_eq!(stats.me_per_s(), 14.0 / 1e6);
+    }
+}

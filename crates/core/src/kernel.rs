@@ -1,0 +1,175 @@
+//! Graph500-style benchmark kernel: many BFS runs from random roots with
+//! robust rate statistics.
+//!
+//! The paper's methodology ("the source vertex was chosen randomly in all
+//! the experiments") became the Graph500 benchmark's kernel 2 shortly after
+//! publication: run BFS from a sample of random roots, validate every tree,
+//! and report the distribution of traversed-edges-per-second (TEPS) rather
+//! than a single number.
+
+use crate::runner::{Algorithm, BfsRunner, ExecMode};
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_graph::validate::validate_bfs_tree;
+
+/// TEPS distribution over a multi-root kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Roots actually searched (roots in empty/isolated positions are
+    /// re-drawn, as Graph500 mandates).
+    pub searches: usize,
+    /// Per-search edges/second, sorted ascending.
+    pub teps: Vec<f64>,
+    /// Harmonic mean of the TEPS values — the Graph500 headline statistic
+    /// (harmonic, because TEPS are rates over a common edge denominator).
+    pub harmonic_mean_teps: f64,
+    /// Total edges traversed over all searches.
+    pub total_edges: u64,
+}
+
+impl KernelStats {
+    /// The `q`-quantile of the TEPS distribution (0 ≤ q ≤ 1).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.teps.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.teps.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.teps[idx]
+    }
+
+    /// Median TEPS.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Deterministic root sampler: xorshift over the vertex space, skipping
+/// isolated vertices (degree 0), as the Graph500 spec requires.
+pub fn sample_roots(graph: &CsrGraph, count: usize, seed: u64) -> Vec<VertexId> {
+    let n = graph.num_vertices() as u64;
+    assert!(n > 0, "cannot sample roots of an empty graph");
+    let mut roots = Vec::with_capacity(count);
+    let mut state = seed | 1;
+    let mut attempts = 0u64;
+    while roots.len() < count && attempts < n * 4 + 64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let v = (state % n) as VertexId;
+        attempts += 1;
+        if graph.degree(v) > 0 {
+            roots.push(v);
+        }
+    }
+    assert!(
+        !roots.is_empty(),
+        "graph has no vertex with outgoing edges; kernel undefined"
+    );
+    roots
+}
+
+/// Runs the kernel: `searches` BFS runs from deterministic random roots,
+/// each validated, with TEPS statistics.
+///
+/// # Panics
+/// Panics if any search produces an invalid BFS tree — the kernel is a
+/// correctness gate as much as a benchmark.
+pub fn run_kernel(
+    graph: &CsrGraph,
+    algorithm: Algorithm,
+    threads: usize,
+    mode: ExecMode,
+    searches: usize,
+    seed: u64,
+) -> KernelStats {
+    let roots = sample_roots(graph, searches.max(1), seed);
+    let runner = BfsRunner::new(graph).algorithm(algorithm).threads(threads).mode(mode);
+    let mut teps = Vec::with_capacity(roots.len());
+    let mut total_edges = 0u64;
+    for &root in &roots {
+        let r = runner.run(root);
+        validate_bfs_tree(graph, root, &r.parents)
+            .unwrap_or_else(|e| panic!("kernel search from {root} invalid: {e}"));
+        total_edges += r.stats.edges_traversed;
+        teps.push(r.stats.edges_per_second());
+    }
+    teps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let harmonic = teps.len() as f64 / teps.iter().map(|t| 1.0 / t.max(1e-12)).sum::<f64>();
+    KernelStats {
+        searches: roots.len(),
+        teps,
+        harmonic_mean_teps: harmonic,
+        total_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_machine::model::MachineModel;
+
+    fn graph() -> CsrGraph {
+        RmatBuilder::new(10, 8).seed(31).permute(true).build()
+    }
+
+    #[test]
+    fn roots_are_deterministic_and_non_isolated() {
+        let g = graph();
+        let a = sample_roots(&g, 16, 7);
+        let b = sample_roots(&g, 16, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&r| g.degree(r) > 0));
+        let c = sample_roots(&g, 16, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kernel_native_reports_consistent_stats() {
+        let g = graph();
+        let stats = run_kernel(&g, Algorithm::SingleSocket, 2, ExecMode::Native, 8, 3);
+        assert_eq!(stats.searches, 8);
+        assert_eq!(stats.teps.len(), 8);
+        assert!(stats.harmonic_mean_teps > 0.0);
+        // Harmonic mean never exceeds the median (sorted, positive data).
+        assert!(stats.harmonic_mean_teps <= stats.quantile(1.0));
+        assert!(stats.quantile(0.0) <= stats.median());
+        assert!(stats.total_edges > 0);
+    }
+
+    #[test]
+    fn kernel_model_mode_is_deterministic() {
+        let g = graph();
+        let mode = ExecMode::model(MachineModel::nehalem_ep());
+        let a = run_kernel(&g, Algorithm::MultiSocket { sockets: 2 }, 8, mode.clone(), 4, 5);
+        let b = run_kernel(&g, Algorithm::MultiSocket { sockets: 2 }, 8, mode, 4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernel_skips_isolated_roots() {
+        // Graph where half the vertices are isolated.
+        let edges: Vec<_> = (0..100u32).map(|i| (i, (i + 1) % 100)).collect();
+        let g = CsrGraph::from_edges_symmetric(200, &edges);
+        let roots = sample_roots(&g, 32, 1);
+        assert!(roots.iter().all(|&r| r < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "no vertex with outgoing edges")]
+    fn kernel_rejects_edgeless_graph() {
+        let g = CsrGraph::from_edges(10, &[]);
+        sample_roots(&g, 4, 1);
+    }
+
+    #[test]
+    fn quantiles_on_empty_stats() {
+        let s = KernelStats {
+            searches: 0,
+            teps: vec![],
+            harmonic_mean_teps: 0.0,
+            total_edges: 0,
+        };
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's primary contribution: a scalable level-synchronous BFS for
+//! multicore shared-memory machines.
+//!
+//! Three algorithms, exactly following §III of the paper:
+//!
+//! * [`algo::simple`] — **Algorithm 1**: the high-level parallel BFS with a
+//!   shared, lock-protected current/next queue pair and atomic parent
+//!   claims. Correct, simple, and the baseline every optimization in
+//!   Fig. 5 is measured against.
+//! * [`algo::single_socket`] — **Algorithm 2**: adds the atomic visited
+//!   *bitmap* (32× smaller random working set), the *test-then-set* check
+//!   that skips most `lock`-prefixed operations (Fig. 4), chunked frontier
+//!   dequeues and reservation-based batch enqueues.
+//! * [`algo::multi_socket`] — **Algorithm 3**: partitions the visit state
+//!   across sockets and replaces cross-socket atomics with batched
+//!   FastForward channels guarded by ticket locks; each level runs in two
+//!   phases (local scan, then remote drain) separated by barriers.
+//!
+//! Two executors run them:
+//!
+//! * the **native executor** — real threads from a pinned
+//!   [`mcbfs_sync::pool::WorkerPool`]; wall-clock measurements are
+//!   meaningful on real multicore hosts;
+//! * the **simulated executor** ([`simexec`]) — a deterministic
+//!   single-threaded re-execution of the same algorithm logic for `T`
+//!   virtual threads on `S` virtual sockets, producing the exact per-level
+//!   per-thread operation counts that the machine cost model
+//!   ([`mcbfs_machine::model::MachineModel`]) prices. This is how the
+//!   paper's 16-thread EP and 64-thread EX figures are reproduced on hosts
+//!   without that hardware.
+//!
+//! [`runner::BfsRunner`] is the front door; [`throughput`] adds the
+//! multi-instance SSCA#2-style mode of Fig. 10, and [`components`] the
+//! connected-components application the paper's introduction motivates.
+
+pub mod algo;
+pub mod components;
+pub mod instrument;
+pub mod kernel;
+pub mod runner;
+pub mod simexec;
+pub mod stcon;
+pub mod throughput;
+
+pub use instrument::BfsStats;
+pub use runner::{Algorithm, BfsResult, BfsRunner, ExecMode};

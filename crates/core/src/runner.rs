@@ -1,0 +1,252 @@
+//! The front door: configure an algorithm, an executor and a thread count,
+//! then run BFS.
+
+use crate::algo::multi_socket::{bfs_multi_socket, MultiSocketOpts};
+use crate::algo::sequential::bfs_sequential;
+use crate::algo::simple::bfs_simple;
+use crate::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
+use crate::instrument::{stats_from_profile, BfsStats};
+use crate::simexec::{simulate, VariantConfig};
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_machine::model::MachineModel;
+use mcbfs_machine::profile::WorkProfile;
+
+/// Which of the paper's algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Single-threaded reference traversal.
+    Sequential,
+    /// Algorithm 1: locked shared queues, unconditional atomic claims.
+    Simple,
+    /// Algorithm 2: bitmap + test-then-set + chunked queues.
+    SingleSocket,
+    /// Algorithm 3: per-socket partitions and batched inter-socket
+    /// channels.
+    MultiSocket {
+        /// Number of socket groups.
+        sockets: usize,
+    },
+}
+
+impl Algorithm {
+    /// The simulated-executor configuration equivalent to this algorithm.
+    pub fn variant_config(&self) -> VariantConfig {
+        match *self {
+            Algorithm::Sequential => VariantConfig {
+                sockets: 1,
+                ..VariantConfig::algorithm2()
+            },
+            Algorithm::Simple => VariantConfig::algorithm1(),
+            Algorithm::SingleSocket => VariantConfig::algorithm2(),
+            Algorithm::MultiSocket { sockets } => VariantConfig::algorithm3(sockets),
+        }
+    }
+}
+
+/// How to execute: real threads or the machine model.
+#[derive(Debug, Clone)]
+pub enum ExecMode {
+    /// Real threads on this host; `stats.seconds` is wall-clock time.
+    Native,
+    /// Deterministic virtual execution priced by a machine model;
+    /// `stats.seconds` is the model's prediction for that machine
+    /// (boxed: the spec + params are much larger than the unit variant).
+    Model(Box<MachineModel>),
+}
+
+impl ExecMode {
+    /// Convenience constructor for model mode.
+    pub fn model(model: MachineModel) -> Self {
+        ExecMode::Model(Box::new(model))
+    }
+}
+
+/// Result of one BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Parent array (`parents[root] == root`; unreached = `UNVISITED`).
+    pub parents: Vec<VertexId>,
+    /// Summary statistics (timing per the [`ExecMode`]).
+    pub stats: BfsStats,
+    /// The full per-level, per-thread operation profile.
+    pub profile: WorkProfile,
+}
+
+/// Builder-style runner.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_core::runner::{Algorithm, BfsRunner};
+/// use mcbfs_gen::prelude::*;
+///
+/// let g = UniformBuilder::new(1_000, 8).seed(5).build();
+/// let result = BfsRunner::new(&g)
+///     .algorithm(Algorithm::MultiSocket { sockets: 2 })
+///     .threads(4)
+///     .run(0);
+/// assert_eq!(result.parents[0], 0);
+/// assert!(result.stats.edges_traversed > 0);
+/// ```
+pub struct BfsRunner<'g> {
+    graph: &'g CsrGraph,
+    algorithm: Algorithm,
+    threads: usize,
+    mode: ExecMode,
+}
+
+impl<'g> BfsRunner<'g> {
+    /// A runner for `graph` with defaults: Algorithm 2, one thread, native
+    /// execution.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self {
+            graph,
+            algorithm: Algorithm::SingleSocket,
+            threads: 1,
+            mode: ExecMode::Native,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the worker-thread count (virtual threads in model mode).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs BFS from `root`.
+    pub fn run(&self, root: VertexId) -> BfsResult {
+        match &self.mode {
+            ExecMode::Native => {
+                let run = match self.algorithm {
+                    Algorithm::Sequential => bfs_sequential(self.graph, root),
+                    Algorithm::Simple => bfs_simple(self.graph, root, self.threads),
+                    Algorithm::SingleSocket => bfs_single_socket(
+                        self.graph,
+                        root,
+                        self.threads,
+                        SingleSocketOpts::default(),
+                    ),
+                    Algorithm::MultiSocket { sockets } => bfs_multi_socket(
+                        self.graph,
+                        root,
+                        self.threads,
+                        MultiSocketOpts::with_sockets(sockets),
+                    ),
+                };
+                let stats = stats_from_profile(&run.profile, run.seconds, run.visited);
+                BfsResult {
+                    parents: run.parents,
+                    stats,
+                    profile: run.profile,
+                }
+            }
+            ExecMode::Model(model) => {
+                let threads = if matches!(self.algorithm, Algorithm::Sequential) {
+                    1
+                } else {
+                    self.threads
+                };
+                let sim = simulate(self.graph, root, threads, self.algorithm.variant_config());
+                let prediction = model.predict(&sim.profile);
+                let stats = stats_from_profile(&sim.profile, prediction.seconds, sim.visited);
+                BfsResult {
+                    parents: sim.parents,
+                    stats,
+                    profile: sim.profile,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::validate_bfs_tree;
+
+    fn graph() -> CsrGraph {
+        UniformBuilder::new(2_000, 6).seed(77).build()
+    }
+
+    #[test]
+    fn native_runner_all_algorithms() {
+        let g = graph();
+        for algo in [
+            Algorithm::Sequential,
+            Algorithm::Simple,
+            Algorithm::SingleSocket,
+            Algorithm::MultiSocket { sockets: 2 },
+        ] {
+            let r = BfsRunner::new(&g).algorithm(algo).threads(4).run(0);
+            validate_bfs_tree(&g, 0, &r.parents).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+            assert!(r.stats.seconds > 0.0);
+            assert!(r.stats.me_per_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn model_runner_predicts_time() {
+        let g = graph();
+        let model = MachineModel::nehalem_ep();
+        let r = BfsRunner::new(&g)
+            .algorithm(Algorithm::MultiSocket { sockets: 2 })
+            .threads(8)
+            .mode(ExecMode::model(model))
+            .run(0);
+        validate_bfs_tree(&g, 0, &r.parents).unwrap();
+        assert!(r.stats.seconds > 0.0);
+        assert_eq!(r.stats.threads, 8);
+        assert_eq!(r.stats.sockets, 2);
+    }
+
+    #[test]
+    fn model_mode_speedup_shape() {
+        // More model threads must predict faster execution (EP, Alg 2,
+        // within one socket).
+        let g = UniformBuilder::new(1 << 13, 8).seed(3).build();
+        let model = MachineModel::nehalem_ep();
+        let time = |threads| {
+            BfsRunner::new(&g)
+                .algorithm(Algorithm::SingleSocket)
+                .threads(threads)
+                .mode(ExecMode::model(model.clone()))
+                .run(0)
+                .stats
+                .seconds
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        assert!(t4 < t1 / 2.0, "t1={t1:.5} t4={t4:.5}");
+    }
+
+    #[test]
+    fn sequential_in_model_mode_uses_one_thread() {
+        let g = graph();
+        let r = BfsRunner::new(&g)
+            .algorithm(Algorithm::Sequential)
+            .threads(16)
+            .mode(ExecMode::model(MachineModel::nehalem_ep()))
+            .run(0);
+        assert_eq!(r.stats.threads, 1);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let g = graph();
+        let r = BfsRunner::new(&g).threads(0).run(0);
+        assert_eq!(r.stats.threads, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! st-connectivity via bidirectional BFS.
+//!
+//! The paper's companion problem (its Table III cites Bader & Madduri,
+//! "Designing Multithreaded Algorithms for Breadth-First Search and
+//! **st-connectivity** on the Cray MTA-2"): decide whether vertices `s` and
+//! `t` are connected, and return a shortest path. Growing frontiers from
+//! both endpoints and stopping at the first meeting vertex explores
+//! O(b^(d/2)) instead of O(b^d) vertices — a building-block use of the BFS
+//! substrate rather than a new algorithm.
+
+use mcbfs_graph::csr::{CsrGraph, VertexId, UNVISITED};
+use std::collections::VecDeque;
+
+/// Result of an st-connectivity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StConnectivity {
+    /// `s` and `t` are connected; the shortest path (inclusive of both
+    /// endpoints) is attached.
+    Connected {
+        /// A shortest `s`-`t` path, `path[0] == s`, `path.last() == t`.
+        path: Vec<VertexId>,
+    },
+    /// No path exists.
+    Disconnected {
+        /// Vertices expanded before exhausting both frontiers.
+        explored: usize,
+    },
+}
+
+impl StConnectivity {
+    /// Hop distance if connected.
+    pub fn distance(&self) -> Option<usize> {
+        match self {
+            StConnectivity::Connected { path } => Some(path.len() - 1),
+            StConnectivity::Disconnected { .. } => None,
+        }
+    }
+}
+
+/// Decides st-connectivity with a bidirectional level-synchronous search.
+///
+/// Works on directed graphs only when edges are symmetric (the paper's
+/// benchmark graphs are); for general digraphs the backward search would
+/// need the transpose — compose with [`mcbfs_graph::ops::transpose`].
+pub fn st_connectivity(graph: &CsrGraph, s: VertexId, t: VertexId) -> StConnectivity {
+    let n = graph.num_vertices();
+    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    if s == t {
+        return StConnectivity::Connected { path: vec![s] };
+    }
+    // parent_fwd grows from s, parent_bwd from t.
+    let mut parent_fwd = vec![UNVISITED; n];
+    let mut parent_bwd = vec![UNVISITED; n];
+    parent_fwd[s as usize] = s;
+    parent_bwd[t as usize] = t;
+    let mut q_fwd = VecDeque::from([s]);
+    let mut q_bwd = VecDeque::from([t]);
+    let mut explored = 2usize;
+
+    // Expand the smaller frontier each round (classic bidirectional rule).
+    loop {
+        if q_fwd.is_empty() && q_bwd.is_empty() {
+            return StConnectivity::Disconnected { explored };
+        }
+        let forward = !q_fwd.is_empty() && (q_bwd.is_empty() || q_fwd.len() <= q_bwd.len());
+        let (queue, mine, theirs) = if forward {
+            (&mut q_fwd, &mut parent_fwd, &parent_bwd)
+        } else {
+            (&mut q_bwd, &mut parent_bwd, &parent_fwd)
+        };
+        // One full level.
+        let mut meet: Option<VertexId> = None;
+        for _ in 0..queue.len() {
+            let u = queue.pop_front().expect("level size checked");
+            for &v in graph.neighbors(u) {
+                if mine[v as usize] == UNVISITED {
+                    mine[v as usize] = u;
+                    explored += 1;
+                    if theirs[v as usize] != UNVISITED {
+                        meet = Some(v);
+                        break;
+                    }
+                    queue.push_back(v);
+                }
+            }
+            if meet.is_some() {
+                break;
+            }
+        }
+        if let Some(m) = meet {
+            return StConnectivity::Connected {
+                path: stitch_path(&parent_fwd, &parent_bwd, s, t, m),
+            };
+        }
+    }
+}
+
+/// Joins the two half-paths at the meeting vertex `m`.
+fn stitch_path(
+    parent_fwd: &[VertexId],
+    parent_bwd: &[VertexId],
+    s: VertexId,
+    t: VertexId,
+    m: VertexId,
+) -> Vec<VertexId> {
+    let mut front = Vec::new();
+    let mut v = m;
+    while v != s {
+        front.push(v);
+        v = parent_fwd[v as usize];
+    }
+    front.push(s);
+    front.reverse();
+    let mut v = m;
+    while v != t {
+        v = parent_bwd[v as usize];
+        front.push(v);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::sequential_levels;
+
+    #[test]
+    fn trivial_same_vertex() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(
+            st_connectivity(&g, 1, 1),
+            StConnectivity::Connected { path: vec![1] }
+        );
+    }
+
+    #[test]
+    fn path_graph_distance() {
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges_symmetric(10, &edges);
+        let r = st_connectivity(&g, 0, 9);
+        assert_eq!(r.distance(), Some(9));
+        if let StConnectivity::Connected { path } = r {
+            assert_eq!(path, (0..10u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn disconnected_reports_exploration() {
+        let g = CsrGraph::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4)]);
+        match st_connectivity(&g, 0, 4) {
+            StConnectivity::Disconnected { explored } => assert!(explored >= 5),
+            other => panic!("expected disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_is_shortest_and_valid_on_random_graphs() {
+        let g = UniformBuilder::new(1_500, 5).seed(41).build();
+        let levels_from_7 = sequential_levels(&g, 7);
+        let mut checked = 0;
+        for t in (0..1_500u32).step_by(111) {
+            let r = st_connectivity(&g, 7, t);
+            match (&r, levels_from_7[t as usize]) {
+                (StConnectivity::Connected { path }, d) => {
+                    assert_ne!(d, u32::MAX, "t={t}");
+                    assert_eq!(path.len() as u32 - 1, d, "t={t}: not shortest");
+                    assert_eq!(path[0], 7);
+                    assert_eq!(*path.last().unwrap(), t);
+                    for w in path.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]), "bogus hop {:?}", w);
+                    }
+                    checked += 1;
+                }
+                (StConnectivity::Disconnected { .. }, d) => {
+                    assert_eq!(d, u32::MAX, "t={t}");
+                }
+            }
+        }
+        assert!(checked > 3, "test graph too disconnected to be meaningful");
+    }
+
+    #[test]
+    fn bidirectional_explores_less_than_full_bfs() {
+        // On an expander-ish graph, meeting in the middle touches far fewer
+        // vertices than a full single-source BFS.
+        let g = UniformBuilder::new(1 << 14, 6).seed(42).build();
+        let levels = sequential_levels(&g, 0);
+        // Pick a target at the median distance.
+        let target = (0..(1 << 14) as u32)
+            .find(|&v| levels[v as usize] == 3)
+            .expect("distance-3 vertex exists");
+        match st_connectivity(&g, 0, target) {
+            StConnectivity::Connected { path } => {
+                assert_eq!(path.len() - 1, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoints() {
+        let g = CsrGraph::from_edges(2, &[]);
+        st_connectivity(&g, 0, 9);
+    }
+}

@@ -1,0 +1,199 @@
+//! 2-D grid graphs with 4/8/16-neighbour stencils.
+//!
+//! Xia and Prasanna (PDCS'09) — the closest prior commodity-processor work
+//! in the paper's Table III — evaluate on "8-Grid" (1 M vertices, 16 M
+//! edges) and "16-Grid" (1 M vertices, 32 M edges) inputs: square lattices
+//! where every cell links to its 8 or 16 nearest neighbours. Grids are the
+//! high-diameter antithesis of the power-law families: tiny frontiers,
+//! thousands of BFS levels, and hence a stress test for per-level overhead.
+
+use crate::GraphBuilder;
+use mcbfs_graph::csr::VertexId;
+
+/// Stencil shapes for [`GridBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil {
+    /// Von Neumann neighbourhood: N, S, E, W.
+    Four,
+    /// Moore neighbourhood: the 8 cells at Chebyshev distance 1.
+    Eight,
+    /// The 8-neighbourhood plus the 8 cells at (±2, 0), (0, ±2), (±2, ±2) —
+    /// 16 neighbours total, matching the edge count of the 16-Grid inputs
+    /// (2× the 8-grid's).
+    Sixteen,
+}
+
+impl Stencil {
+    /// Relative coordinates of the stencil.
+    pub fn offsets(self) -> &'static [(i64, i64)] {
+        match self {
+            Stencil::Four => &[(0, 1), (0, -1), (1, 0), (-1, 0)],
+            Stencil::Eight => &[
+                (0, 1),
+                (0, -1),
+                (1, 0),
+                (-1, 0),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+            ],
+            Stencil::Sixteen => &[
+                (0, 1),
+                (0, -1),
+                (1, 0),
+                (-1, 0),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+                (0, 2),
+                (0, -2),
+                (2, 0),
+                (-2, 0),
+                (2, 2),
+                (2, -2),
+                (-2, 2),
+                (-2, -2),
+            ],
+        }
+    }
+}
+
+/// Builder for `side × side` grid graphs.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_gen::grid::{GridBuilder, Stencil};
+/// use mcbfs_gen::GraphBuilder;
+///
+/// let g = GridBuilder::new(32, Stencil::Eight).build();
+/// assert_eq!(g.num_vertices(), 1024);
+/// // Interior cells have degree 8.
+/// assert_eq!(g.degree(33), 8);
+/// // The corner has 3 Moore neighbours.
+/// assert_eq!(g.degree(0), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridBuilder {
+    side: usize,
+    stencil: Stencil,
+}
+
+impl GridBuilder {
+    /// A `side × side` grid with the given stencil.
+    pub fn new(side: usize, stencil: Stencil) -> Self {
+        assert!(
+            side.checked_mul(side).map(|n| (n as u64) < u32::MAX as u64) == Some(true),
+            "grid too large for 32-bit ids"
+        );
+        Self { side, stencil }
+    }
+
+    /// Side length of the grid.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    fn id(&self, r: usize, c: usize) -> VertexId {
+        (r * self.side + c) as VertexId
+    }
+}
+
+impl GraphBuilder for GridBuilder {
+    fn num_vertices(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Grid edges are emitted once per unordered pair and mirrored by the
+    /// symmetric build.
+    fn build_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let side = self.side as i64;
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                for &(dr, dc) in self.stencil.offsets() {
+                    let (nr, nc) = (r + dr, c + dc);
+                    if nr < 0 || nc < 0 || nr >= side || nc >= side {
+                        continue;
+                    }
+                    // Emit each undirected edge once (lexicographic owner).
+                    if (nr, nc) > (r, c) {
+                        edges.push((
+                            self.id(r as usize, c as usize),
+                            self.id(nr as usize, nc as usize),
+                        ));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_graph::validate::sequential_levels;
+
+    #[test]
+    fn four_grid_structure() {
+        let g = GridBuilder::new(3, Stencil::Four).build();
+        assert_eq!(g.num_vertices(), 9);
+        // Center vertex (1,1) = id 4 touches all four sides.
+        assert_eq!(g.neighbors(4), &[1, 3, 5, 7]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn eight_grid_interior_degree() {
+        let g = GridBuilder::new(5, Stencil::Eight).build();
+        assert_eq!(g.degree(12), 8); // (2,2) interior
+        assert_eq!(g.degree(0), 3); // corner
+        assert_eq!(g.degree(2), 5); // edge midpoint
+    }
+
+    #[test]
+    fn sixteen_grid_interior_degree() {
+        let g = GridBuilder::new(7, Stencil::Sixteen).build();
+        // (3,3) = id 24 is ≥2 away from every border.
+        assert_eq!(g.degree(24), 16);
+    }
+
+    #[test]
+    fn edge_counts_match_xia_prasanna_ratio() {
+        // 16-grid ≈ 2 × 8-grid edges (border effects aside).
+        let g8 = GridBuilder::new(64, Stencil::Eight).build();
+        let g16 = GridBuilder::new(64, Stencil::Sixteen).build();
+        let ratio = g16.num_edges() as f64 / g8.num_edges() as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn grid_is_connected_with_quadratic_diameter() {
+        let g = GridBuilder::new(20, Stencil::Four).build();
+        let levels = sequential_levels(&g, 0);
+        assert!(levels.iter().all(|&l| l != u32::MAX));
+        // Diameter from the corner is exactly 2 * (side - 1) hops.
+        assert_eq!(*levels.iter().max().unwrap(), 38);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = GridBuilder::new(0, Stencil::Eight).build();
+        assert_eq!(g.num_vertices(), 0);
+        let g = GridBuilder::new(1, Stencil::Sixteen).build();
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn symmetric_by_construction() {
+        let g = GridBuilder::new(6, Stencil::Eight).build();
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Synthetic graph generators — the reproduction's stand-in for the GTgraph
+//! suite the paper uses (Bader & Madduri, 2006).
+//!
+//! Four families, covering every workload in the paper's evaluation:
+//!
+//! * [`uniform::UniformBuilder`] — "uniformly random graphs": `n` vertices
+//!   each with out-degree `d`, neighbours chosen uniformly at random
+//!   (§IV, Figs. 6 and 8).
+//! * [`rmat::RmatBuilder`] — R-MAT scale-free graphs with community
+//!   structure, sampled from a Kronecker product with the GTgraph default
+//!   parameters `(a, b, c, d) = (0.45, 0.15, 0.15, 0.25)` overridable to the
+//!   Graph500 `(0.57, 0.19, 0.19, 0.05)` (§IV, Figs. 7 and 9).
+//! * [`ssca2::Ssca2Builder`] — SSCA#2-style clustered graphs (cliques plus
+//!   sparse inter-clique links), the workload behind Fig. 10 and the
+//!   Bader–Madduri MTA-2 rows of Table III.
+//! * [`grid::GridBuilder`] — 2-D grids with 4/8/16-neighbour stencils,
+//!   matching the Xia–Prasanna rows of Table III.
+//!
+//! All generators are deterministic given a seed, independent of thread
+//! count (parallel generation derives one RNG per output chunk from the
+//! master seed), and emit edge lists convertible to [`CsrGraph`] directly
+//! through [`GraphBuilder::build`].
+
+pub mod grid;
+pub mod rmat;
+pub mod ssca2;
+pub mod stats;
+pub mod synthetic;
+pub mod uniform;
+
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+
+/// Common interface of every generator: produce an edge list or a finished
+/// CSR graph.
+pub trait GraphBuilder {
+    /// Number of vertices the generated graph will have.
+    fn num_vertices(&self) -> usize;
+
+    /// Generates the (directed) edge list.
+    fn build_edges(&self) -> Vec<(VertexId, VertexId)>;
+
+    /// `true` if [`GraphBuilder::build`] should insert each edge in both
+    /// directions (the paper's graphs are all undirected).
+    fn symmetric(&self) -> bool {
+        true
+    }
+
+    /// Generates the graph and assembles the CSR structure.
+    fn build(&self) -> CsrGraph {
+        let edges = self.build_edges();
+        if self.symmetric() {
+            CsrGraph::from_edges_symmetric(self.num_vertices(), &edges)
+        } else {
+            CsrGraph::from_edges(self.num_vertices(), &edges)
+        }
+    }
+}
+
+/// Commonly used generator types.
+pub mod prelude {
+    pub use crate::grid::GridBuilder;
+    pub use crate::rmat::RmatBuilder;
+    pub use crate::ssca2::Ssca2Builder;
+    pub use crate::synthetic::{Shape, SyntheticBuilder};
+    pub use crate::uniform::UniformBuilder;
+    pub use crate::GraphBuilder;
+}

@@ -1,0 +1,211 @@
+//! SSCA#2-style clustered graphs.
+//!
+//! The SSCA#2 benchmark (HPCS Scalable Synthetic Compact Applications,
+//! graph analysis) generates a collection of fully-connected *cliques* of
+//! random size, linked by sparse inter-clique edges whose density falls off
+//! with clique distance. GTgraph ships this generator and the paper uses
+//! SSCA#2-like workloads for the multi-instance throughput experiment
+//! (Fig. 10) and cites Bader–Madduri MTA-2 results on SSCA#2 v1 graphs in
+//! Table III.
+//!
+//! This implementation follows the GTgraph structure: clique sizes uniform
+//! in `1..=max_clique_size`, all intra-clique edges present, and
+//! inter-clique edges inserted between cliques at exponentially growing
+//! distances (1, 2, 4, …) with probability `prob_interclique` per vertex.
+
+use crate::GraphBuilder;
+use mcbfs_graph::csr::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for SSCA#2-style graphs.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_gen::prelude::*;
+///
+/// let g = Ssca2Builder::new(2_000).max_clique_size(16).seed(4).build();
+/// assert_eq!(g.num_vertices(), 2_000);
+/// assert!(g.num_edges() > 2_000); // cliques dominate
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ssca2Builder {
+    n: usize,
+    max_clique_size: usize,
+    prob_interclique: f64,
+    seed: u64,
+}
+
+impl Ssca2Builder {
+    /// An SSCA#2 graph over `n` vertices with GTgraph-like defaults
+    /// (`max_clique_size = 32`, `prob_interclique = 0.5`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            max_clique_size: 32,
+            prob_interclique: 0.5,
+            seed: 0x55CA2,
+        }
+    }
+
+    /// Sets the maximum clique size (minimum 1).
+    pub fn max_clique_size(mut self, s: usize) -> Self {
+        self.max_clique_size = s.max(1);
+        self
+    }
+
+    /// Sets the per-vertex inter-clique link probability in `[0, 1]`.
+    pub fn prob_interclique(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.prob_interclique = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Splits `0..n` into clique ranges with sizes uniform in
+    /// `1..=max_clique_size` (last clique truncated).
+    fn cliques(&self, rng: &mut SmallRng) -> Vec<core::ops::Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < self.n {
+            let size = rng.gen_range(1..=self.max_clique_size).min(self.n - start);
+            out.push(start..start + size);
+            start += size;
+        }
+        out
+    }
+}
+
+impl GraphBuilder for Ssca2Builder {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn build_edges(&self) -> Vec<(VertexId, VertexId)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let cliques = self.cliques(&mut rng);
+        let mut edges = Vec::new();
+        // Intra-clique: complete (one direction; the builder mirrors).
+        for c in &cliques {
+            for u in c.clone() {
+                for v in (u + 1)..c.end {
+                    edges.push((u as VertexId, v as VertexId));
+                }
+            }
+        }
+        // Inter-clique: for each clique i link to cliques i + 1, i + 2,
+        // i + 4, ... with probability prob_interclique per step, choosing a
+        // random vertex from each side.
+        for (i, c) in cliques.iter().enumerate() {
+            let mut step = 1usize;
+            while i + step < cliques.len() {
+                if rng.gen::<f64>() < self.prob_interclique {
+                    let d = &cliques[i + step];
+                    let u = rng.gen_range(c.clone());
+                    let v = rng.gen_range(d.clone());
+                    edges.push((u as VertexId, v as VertexId));
+                }
+                step <<= 1;
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_graph::validate::sequential_levels;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = Ssca2Builder::new(500).seed(1).build_edges();
+        let b = Ssca2Builder::new(500).seed(1).build_edges();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        assert!(Ssca2Builder::new(0).build_edges().is_empty());
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let e = Ssca2Builder::new(300).seed(9).build_edges();
+        assert!(e.iter().all(|&(u, v)| (u as usize) < 300 && (v as usize) < 300));
+    }
+
+    #[test]
+    fn cliques_are_complete() {
+        // With interclique probability 0, components are exactly cliques:
+        // every vertex's neighbourhood (plus itself) equals its component.
+        let g = Ssca2Builder::new(200)
+            .max_clique_size(8)
+            .prob_interclique(0.0)
+            .seed(3)
+            .build();
+        for v in 0..200u32 {
+            let neigh = g.neighbors(v);
+            for &w in neigh {
+                // Clique: w's adjacency contains all of v's except w itself.
+                assert!(g.has_edge(w, v));
+                for &x in neigh {
+                    if x != w {
+                        assert!(g.has_edge(w, x), "v={v} w={w} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interclique_links_improve_connectivity() {
+        let sparse = Ssca2Builder::new(400).prob_interclique(0.0).seed(5).build();
+        let linked = Ssca2Builder::new(400).prob_interclique(1.0).seed(5).build();
+        let reach = |g: &mcbfs_graph::csr::CsrGraph| {
+            sequential_levels(g, 0)
+                .iter()
+                .filter(|&&l| l != u32::MAX)
+                .count()
+        };
+        assert!(reach(&linked) > reach(&sparse));
+    }
+
+    #[test]
+    fn max_clique_size_one_gives_matching_structure() {
+        // Cliques of size 1 have no intra-clique edges; all edges are
+        // inter-clique.
+        let g = Ssca2Builder::new(100)
+            .max_clique_size(1)
+            .prob_interclique(1.0)
+            .seed(2)
+            .build();
+        // Every vertex connects to ~log2(100) later cliques plus mirror
+        // edges; degree stays small.
+        assert!(g.max_degree() <= 2 * 8);
+    }
+
+    #[test]
+    fn clique_partition_tiles_vertex_range() {
+        let b = Ssca2Builder::new(777).max_clique_size(13).seed(8);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let cliques = b.cliques(&mut rng);
+        let mut cursor = 0;
+        for c in &cliques {
+            assert_eq!(c.start, cursor);
+            assert!(!c.is_empty());
+            assert!(c.len() <= 13);
+            cursor = c.end;
+        }
+        assert_eq!(cursor, 777);
+    }
+}

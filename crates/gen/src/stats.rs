@@ -1,0 +1,131 @@
+//! Degree-distribution statistics for generated graphs.
+//!
+//! The paper's §IV attributes the R-MAT vs. uniform processing-rate gap to
+//! degree skew ("a few high degree vertices ... lead to a performance
+//! advantage"); these helpers quantify that skew for tests and for the
+//! benchmark reports.
+
+use mcbfs_graph::csr::CsrGraph;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest out-degree.
+    pub min: usize,
+    /// Largest out-degree.
+    pub max: usize,
+    /// Mean out-degree (the paper's "arity").
+    pub mean: f64,
+    /// Standard deviation of the out-degree.
+    pub std_dev: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Gini coefficient of the degree distribution in `[0, 1]`:
+    /// 0 = perfectly regular, →1 = all edges on one vertex.
+    pub gini: f64,
+}
+
+/// Computes [`DegreeStats`] for `graph`.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            isolated: 0,
+            gini: 0.0,
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let min = *degrees.iter().min().unwrap();
+    let max = *degrees.iter().max().unwrap();
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let var = degrees
+        .iter()
+        .map(|&d| {
+            let x = d as f64 - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / n as f64;
+    // Gini via the sorted-rank formula.
+    degrees.sort_unstable();
+    let total: f64 = degrees.iter().sum::<usize>() as f64;
+    let gini = if total == 0.0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64)
+            .sum();
+        weighted / (n as f64 * total)
+    };
+    DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+        isolated,
+        gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_gini() {
+        // A cycle: every vertex degree 2.
+        let edges: Vec<_> = (0..10u32).map(|i| (i, (i + 1) % 10)).collect();
+        let g = CsrGraph::from_edges_symmetric(10, &edges);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.std_dev).abs() < 1e-12);
+        assert!(s.gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        let edges: Vec<_> = (1..100u32).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges(100, &edges);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 99);
+        assert_eq!(s.isolated, 99);
+        assert!(s.gini > 0.97, "gini = {}", s.gini);
+    }
+
+    #[test]
+    fn rmat_more_skewed_than_uniform() {
+        let uni = degree_stats(&UniformBuilder::new(4_096, 8).seed(1).build());
+        let rmat = degree_stats(&RmatBuilder::new(12, 8).seed(1).build());
+        assert!(
+            rmat.gini > 1.5 * uni.gini,
+            "rmat gini {} vs uniform {}",
+            rmat.gini,
+            uni.gini
+        );
+        assert!(rmat.max > 4 * uni.max);
+    }
+
+    #[test]
+    fn mean_matches_avg_degree() {
+        let g = UniformBuilder::new(512, 5).seed(2).build();
+        let s = degree_stats(&g);
+        assert!((s.mean - g.avg_degree()).abs() < 1e-12);
+    }
+}

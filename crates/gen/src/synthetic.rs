@@ -1,0 +1,229 @@
+//! Deterministic structured graphs: the analytic shapes used to probe
+//! corner cases of a traversal (extreme diameter, extreme fan-out, perfect
+//! regularity). Not part of the paper's evaluation, but every test suite
+//! for a BFS needs them, and building them by hand in each test invites
+//! mistakes.
+
+use crate::GraphBuilder;
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+
+/// The structured families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A simple path `0 - 1 - … - (n-1)`: diameter `n - 1`, the worst case
+    /// for level-synchronous overheads.
+    Path,
+    /// A cycle: every vertex degree 2, diameter `n / 2`.
+    Cycle,
+    /// A star centered at vertex 0: two BFS levels, maximal fan-out.
+    Star,
+    /// The complete graph: one BFS level, maximal frontier density.
+    Complete,
+    /// A complete binary tree rooted at 0 (heap indexing): logarithmic
+    /// diameter, perfectly predictable level sizes.
+    BinaryTree,
+    /// A 2-D torus (grid with wraparound): 4-regular everywhere, no border
+    /// effects; `n` is rounded down to a perfect square.
+    Torus,
+}
+
+/// Builder for the structured families.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_gen::synthetic::{Shape, SyntheticBuilder};
+/// use mcbfs_gen::GraphBuilder;
+///
+/// let tree = SyntheticBuilder::new(Shape::BinaryTree, 15).build();
+/// assert_eq!(tree.degree(0), 2);   // root: two children
+/// assert_eq!(tree.degree(1), 3);   // inner: parent + two children
+/// assert_eq!(tree.degree(14), 1);  // leaf
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticBuilder {
+    shape: Shape,
+    n: usize,
+}
+
+impl SyntheticBuilder {
+    /// A graph of `shape` over (about) `n` vertices — see each shape's
+    /// docs for rounding rules.
+    pub fn new(shape: Shape, n: usize) -> Self {
+        Self { shape, n }
+    }
+}
+
+impl GraphBuilder for SyntheticBuilder {
+    fn num_vertices(&self) -> usize {
+        match self.shape {
+            Shape::Torus => {
+                let side = (self.n as f64).sqrt().floor() as usize;
+                side * side
+            }
+            _ => self.n,
+        }
+    }
+
+    fn build_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let n = self.num_vertices();
+        let mut edges = Vec::new();
+        if n < 2 {
+            return edges;
+        }
+        match self.shape {
+            Shape::Path => {
+                for i in 0..n - 1 {
+                    edges.push((i as VertexId, (i + 1) as VertexId));
+                }
+            }
+            Shape::Cycle => {
+                for i in 0..n {
+                    edges.push((i as VertexId, ((i + 1) % n) as VertexId));
+                }
+            }
+            Shape::Star => {
+                for i in 1..n {
+                    edges.push((0, i as VertexId));
+                }
+            }
+            Shape::Complete => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        edges.push((i as VertexId, j as VertexId));
+                    }
+                }
+            }
+            Shape::BinaryTree => {
+                for i in 1..n {
+                    edges.push((((i - 1) / 2) as VertexId, i as VertexId));
+                }
+            }
+            Shape::Torus => {
+                let side = (n as f64).sqrt().round() as usize;
+                for r in 0..side {
+                    for c in 0..side {
+                        let id = (r * side + c) as VertexId;
+                        let right = (r * side + (c + 1) % side) as VertexId;
+                        let down = (((r + 1) % side) * side + c) as VertexId;
+                        if id != right {
+                            edges.push((id, right));
+                        }
+                        if id != down {
+                            edges.push((id, down));
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Shorthand constructors.
+impl SyntheticBuilder {
+    /// `Shape::Path` over `n` vertices.
+    pub fn path(n: usize) -> CsrGraph {
+        Self::new(Shape::Path, n).build()
+    }
+
+    /// `Shape::Cycle` over `n` vertices.
+    pub fn cycle(n: usize) -> CsrGraph {
+        Self::new(Shape::Cycle, n).build()
+    }
+
+    /// `Shape::Star` over `n` vertices.
+    pub fn star(n: usize) -> CsrGraph {
+        Self::new(Shape::Star, n).build()
+    }
+
+    /// `Shape::Complete` over `n` vertices.
+    pub fn complete(n: usize) -> CsrGraph {
+        Self::new(Shape::Complete, n).build()
+    }
+
+    /// `Shape::BinaryTree` over `n` vertices.
+    pub fn binary_tree(n: usize) -> CsrGraph {
+        Self::new(Shape::BinaryTree, n).build()
+    }
+
+    /// `Shape::Torus` over ~`n` vertices (rounded to a square).
+    pub fn torus(n: usize) -> CsrGraph {
+        Self::new(Shape::Torus, n).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_graph::validate::sequential_levels;
+
+    #[test]
+    fn path_has_full_diameter() {
+        let g = SyntheticBuilder::path(100);
+        let levels = sequential_levels(&g, 0);
+        assert_eq!(*levels.iter().max().unwrap(), 99);
+        assert_eq!(g.num_edges(), 2 * 99);
+    }
+
+    #[test]
+    fn cycle_is_2_regular_with_half_diameter() {
+        let g = SyntheticBuilder::cycle(100);
+        assert!((0..100u32).all(|v| g.degree(v) == 2));
+        let levels = sequential_levels(&g, 0);
+        assert_eq!(*levels.iter().max().unwrap(), 50);
+    }
+
+    #[test]
+    fn star_has_two_levels() {
+        let g = SyntheticBuilder::star(64);
+        assert_eq!(g.degree(0), 63);
+        let levels = sequential_levels(&g, 5);
+        assert_eq!(*levels.iter().max().unwrap(), 2); // leaf -> hub -> leaves
+    }
+
+    #[test]
+    fn complete_has_one_level() {
+        let g = SyntheticBuilder::complete(20);
+        assert!((0..20u32).all(|v| g.degree(v) == 19));
+        let levels = sequential_levels(&g, 3);
+        assert_eq!(*levels.iter().max().unwrap(), 1);
+    }
+
+    #[test]
+    fn binary_tree_level_sizes_are_powers_of_two() {
+        let g = SyntheticBuilder::binary_tree(127); // perfect depth-6 tree
+        let levels = sequential_levels(&g, 0);
+        for d in 0..7u32 {
+            let count = levels.iter().filter(|&&l| l == d).count();
+            assert_eq!(count, 1 << d, "level {d}");
+        }
+    }
+
+    #[test]
+    fn torus_is_4_regular_everywhere() {
+        let g = SyntheticBuilder::torus(100); // 10x10
+        assert_eq!(g.num_vertices(), 100);
+        assert!((0..100u32).all(|v| g.degree(v) == 4), "torus must have no borders");
+    }
+
+    #[test]
+    fn tiny_torus_degenerates_gracefully() {
+        let g = SyntheticBuilder::torus(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = SyntheticBuilder::torus(4); // 2x2: wraparound == neighbor
+        assert_eq!(g.num_vertices(), 4);
+        assert!((0..4u32).all(|v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for shape in [Shape::Path, Shape::Cycle, Shape::Star, Shape::Complete, Shape::BinaryTree] {
+            let g = SyntheticBuilder::new(shape, 0).build();
+            assert_eq!(g.num_vertices(), 0, "{shape:?}");
+            let g = SyntheticBuilder::new(shape, 1).build();
+            assert_eq!(g.num_edges(), 0, "{shape:?}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests over the generator suite: structural invariants that must
+//! hold for every seed and parameterization.
+
+use mcbfs_gen::grid::{GridBuilder, Stencil};
+use mcbfs_gen::prelude::*;
+use mcbfs_gen::stats::degree_stats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_generator_invariants(n in 1usize..2_000, d in 0usize..16, seed in any::<u64>()) {
+        let edges = UniformBuilder::new(n, d).seed(seed).build_edges();
+        prop_assert_eq!(edges.len(), n * d);
+        prop_assert!(edges.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n));
+        // Every vertex emits exactly d edges.
+        let mut out = vec![0usize; n];
+        for &(u, _) in &edges {
+            out[u as usize] += 1;
+        }
+        prop_assert!(out.iter().all(|&c| c == d));
+    }
+
+    #[test]
+    fn rmat_generator_invariants(scale in 1u32..12, d in 1usize..10, seed in any::<u64>()) {
+        let b = RmatBuilder::new(scale, d).seed(seed);
+        let edges = b.build_edges();
+        prop_assert_eq!(edges.len(), d << scale);
+        let n = 1usize << scale;
+        prop_assert!(edges.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n));
+        // Determinism.
+        prop_assert_eq!(edges, RmatBuilder::new(scale, d).seed(seed).build_edges());
+    }
+
+    #[test]
+    fn rmat_permutation_preserves_multiset_of_degrees(
+        scale in 2u32..10,
+        d in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let plain = RmatBuilder::new(scale, d).seed(seed).build();
+        let perm = RmatBuilder::new(scale, d).seed(seed).permute(true).build();
+        let n = 1u32 << scale;
+        let mut d1: Vec<usize> = (0..n).map(|v| plain.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..n).map(|v| perm.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn ssca2_generator_invariants(n in 1usize..1_500, cl in 1usize..40, seed in any::<u64>()) {
+        let g = Ssca2Builder::new(n).max_clique_size(cl).seed(seed).build();
+        prop_assert_eq!(g.num_vertices(), n);
+        // Intra-clique completeness implies max degree >= smallest clique-1;
+        // at minimum the graph is well-formed and symmetric.
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(v, u), "({u},{v}) not mirrored");
+        }
+    }
+
+    #[test]
+    fn grid_generator_invariants(side in 1usize..40) {
+        for stencil in [Stencil::Four, Stencil::Eight, Stencil::Sixteen] {
+            let g = GridBuilder::new(side, stencil).build();
+            prop_assert_eq!(g.num_vertices(), side * side);
+            let max_deg = stencil.offsets().len();
+            prop_assert!(g.max_degree() <= max_deg);
+            // Interior vertices (if any) reach the full stencil degree.
+            if side >= 5 {
+                let center = (side / 2 * side + side / 2) as u32;
+                prop_assert_eq!(g.degree(center), max_deg);
+            }
+        }
+    }
+
+    #[test]
+    fn gini_is_within_unit_interval(scale in 2u32..11, d in 1usize..8, seed in any::<u64>()) {
+        let g = RmatBuilder::new(scale, d).seed(seed).build();
+        let s = degree_stats(&g);
+        prop_assert!((0.0..=1.0).contains(&s.gini), "gini {}", s.gini);
+        prop_assert!(s.min <= s.max);
+        prop_assert!(s.mean >= 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The atomic visited bitmap — the first key optimization of Algorithm 2.
+//!
+//! Marking visited vertices in a bitmap instead of the parent array shrinks
+//! the randomly-accessed working set by 32× (1 bit vs. 4 bytes per vertex):
+//! "in 4 MB we can store all the visit information for a graph with 32
+//! million vertices", moving the hot data up the cache hierarchy and — per
+//! the paper's Fig. 2 — improving the raw processing rate "by at least a
+//! factor of four".
+//!
+//! The second idea is [`AtomicBitmap::claim`]: *test, then set*. A plain
+//! load first checks whether the bit is already 1 and only falls through to
+//! the `lock or` (`fetch_or`) when it is 0. The bit may be set concurrently
+//! between the check and the atomic, so the atomic's return value is still
+//! authoritative — but in the late levels of a BFS almost every neighbour is
+//! already visited and the check eliminates the vast majority of atomic
+//! operations (the paper's Fig. 4).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of a [`AtomicBitmap::claim`] / [`AtomicBitmap::set_atomic`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The plain read found the bit already set; no atomic was issued.
+    AlreadyVisited,
+    /// The atomic set the bit; the caller owns the vertex.
+    Claimed,
+    /// The atomic found the bit set by a racing thread; no ownership.
+    LostRace,
+}
+
+impl ClaimOutcome {
+    /// `true` when the caller won ownership of the bit.
+    #[inline]
+    pub fn claimed(self) -> bool {
+        matches!(self, ClaimOutcome::Claimed)
+    }
+
+    /// `true` when the call issued a `lock`-prefixed atomic operation
+    /// (used by the instrumentation for Fig. 4).
+    #[inline]
+    pub fn used_atomic(self) -> bool {
+        !matches!(self, ClaimOutcome::AlreadyVisited)
+    }
+}
+
+/// A fixed-size concurrent bitmap over 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_graph::bitmap::{AtomicBitmap, ClaimOutcome};
+///
+/// let bm = AtomicBitmap::new(128);
+/// assert!(!bm.test(64));
+/// assert_eq!(bm.claim(64), ClaimOutcome::Claimed);
+/// assert_eq!(bm.claim(64), ClaimOutcome::AlreadyVisited);
+/// assert!(bm.test(64));
+/// assert_eq!(bm.count_ones(), 1);
+/// ```
+pub struct AtomicBitmap {
+    words: Box<[AtomicU64]>,
+    bits: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates a bitmap holding `bits` zeroed bits.
+    pub fn new(bits: usize) -> Self {
+        let words = bits.div_ceil(64);
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            bits,
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// `true` when the bitmap holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Size of the bitmap's storage in bytes — the paper reasons about this
+    /// as the random-access working set of the visit phase.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[inline]
+    fn index(&self, bit: usize) -> (usize, u64) {
+        debug_assert!(bit < self.bits, "bit {bit} out of range 0..{}", self.bits);
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Plain (non-atomic-RMW) read of one bit.
+    #[inline]
+    pub fn test(&self, bit: usize) -> bool {
+        let (w, mask) = self.index(bit);
+        self.words[w].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Unconditional atomic set; returns `Claimed` if this call flipped the
+    /// bit from 0 to 1, `LostRace` otherwise. This is the paper's
+    /// `LockedReadSet` (`__sync_or_and_fetch` on the original system).
+    #[inline]
+    pub fn set_atomic(&self, bit: usize) -> ClaimOutcome {
+        let (w, mask) = self.index(bit);
+        let prev = self.words[w].fetch_or(mask, Ordering::AcqRel);
+        if prev & mask == 0 {
+            ClaimOutcome::Claimed
+        } else {
+            ClaimOutcome::LostRace
+        }
+    }
+
+    /// Test-then-set: checks the bit with a plain load and only issues the
+    /// atomic when it reads 0 (lines 13–15 of the paper's Algorithm 2).
+    #[inline]
+    pub fn claim(&self, bit: usize) -> ClaimOutcome {
+        if self.test(bit) {
+            ClaimOutcome::AlreadyVisited
+        } else {
+            self.set_atomic(bit)
+        }
+    }
+
+    /// Clears every bit. Requires external quiescence (called between BFS
+    /// runs); uses relaxed stores.
+    pub fn clear(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of set bits (quiescent snapshot).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            let mut word = w.load(Ordering::Relaxed);
+            core::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+        .filter(move |&b| b < self.bits)
+    }
+}
+
+impl core::fmt::Debug for AtomicBitmap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AtomicBitmap")
+            .field("bits", &self.bits)
+            .field("ones", &self.count_ones())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_bitmap_is_zeroed() {
+        let bm = AtomicBitmap::new(200);
+        assert_eq!(bm.len(), 200);
+        assert_eq!(bm.count_ones(), 0);
+        assert!((0..200).all(|b| !bm.test(b)));
+    }
+
+    #[test]
+    fn zero_length_bitmap() {
+        let bm = AtomicBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_and_test_across_word_boundaries() {
+        let bm = AtomicBitmap::new(130);
+        for &b in &[0usize, 63, 64, 127, 128, 129] {
+            assert_eq!(bm.set_atomic(b), ClaimOutcome::Claimed);
+            assert!(bm.test(b));
+        }
+        assert_eq!(bm.count_ones(), 6);
+    }
+
+    #[test]
+    fn set_atomic_detects_race_loss() {
+        let bm = AtomicBitmap::new(64);
+        assert_eq!(bm.set_atomic(5), ClaimOutcome::Claimed);
+        assert_eq!(bm.set_atomic(5), ClaimOutcome::LostRace);
+    }
+
+    #[test]
+    fn claim_skips_atomic_when_visible() {
+        let bm = AtomicBitmap::new(64);
+        assert_eq!(bm.claim(9), ClaimOutcome::Claimed);
+        let second = bm.claim(9);
+        assert_eq!(second, ClaimOutcome::AlreadyVisited);
+        assert!(!second.used_atomic());
+        assert!(!second.claimed());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let bm = AtomicBitmap::new(100);
+        for b in (0..100).step_by(3) {
+            bm.set_atomic(b);
+        }
+        bm.clear();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let bm = AtomicBitmap::new(300);
+        let set = [3usize, 64, 65, 190, 299];
+        for &b in &set {
+            bm.set_atomic(b);
+        }
+        let got: Vec<_> = bm.iter_ones().collect();
+        assert_eq!(got, set);
+    }
+
+    #[test]
+    fn memory_bytes_matches_paper_rule_of_thumb() {
+        // 32 M vertices fit in 4 MB of bitmap.
+        let bm = AtomicBitmap::new(32 * 1024 * 1024);
+        assert_eq!(bm.memory_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn concurrent_claims_grant_each_bit_once() {
+        const BITS: usize = 4096;
+        const THREADS: usize = 8;
+        let bm = Arc::new(AtomicBitmap::new(BITS));
+        let wins: Arc<Vec<core::sync::atomic::AtomicUsize>> = Arc::new(
+            (0..BITS)
+                .map(|_| core::sync::atomic::AtomicUsize::new(0))
+                .collect(),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let bm = Arc::clone(&bm);
+                let wins = Arc::clone(&wins);
+                s.spawn(move || {
+                    for b in 0..BITS {
+                        if bm.claim(b).claimed() {
+                            wins[b].fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(wins.iter().all(|w| w.load(Ordering::SeqCst) == 1));
+        assert_eq!(bm.count_ones(), BITS);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_range_bit_panics_in_debug() {
+        let bm = AtomicBitmap::new(10);
+        bm.test(10);
+    }
+}

@@ -1,0 +1,35 @@
+//! Machine topology and performance model — the reproduction's stand-in for
+//! the paper's Nehalem EP/EX testbeds.
+//!
+//! The paper's evaluation hardware (a dual-socket Xeon X5570 "Nehalem EP"
+//! and a 4-socket Xeon 7560 "Nehalem EX") is modelled rather than required:
+//!
+//! * [`topology`] — socket/core/SMT structure, cache geometry and the
+//!   paper's core-affinity numbering (Table I), for any preset or custom
+//!   machine.
+//! * [`model`] — a calibrated cost model of the memory hierarchy: random
+//!   read latency per working-set size, the ~10-deep memory pipelining the
+//!   paper measures (Fig. 2), `lock`-prefixed atomic throughput and its
+//!   cross-socket collapse (Fig. 3), channel and barrier costs. Given the
+//!   exact operation counts of an instrumented BFS run it predicts
+//!   execution time, reproducing the *shape* of every scalability figure on
+//!   any host.
+//! * [`profile`] — the operation-count records exchanged between the
+//!   instrumented algorithms (in `mcbfs-core`) and the model.
+//! * [`memlat`] — native microbenchmarks (pointer chasing with software
+//!   pipelining, shared fetch-and-add) that regenerate Figs. 2–3 on real
+//!   hardware and calibrate the model.
+//! * [`reference`] — the published results the paper compares against in
+//!   Table III (Cray XMT/MTA-2, BlueGene/L, Cell/B.E., Xia–Prasanna), as
+//!   structured data for the comparison harness.
+
+pub mod calibrate;
+pub mod memlat;
+pub mod model;
+pub mod profile;
+pub mod reference;
+pub mod topology;
+
+pub use model::{CostParams, MachineModel};
+pub use profile::{LevelProfile, ThreadCounts, WorkProfile};
+pub use topology::MachineSpec;

@@ -1,0 +1,256 @@
+//! Machine topology descriptions: sockets, cores, SMT, caches, affinity.
+//!
+//! Presets reproduce Table I of the paper (Nehalem EP and EX) plus the 8-
+//! socket EX configuration sketched in the paper's Fig. 1; a
+//! [`MachineSpec::custom`] constructor covers anything else (including the
+//! host this reproduction actually runs on).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a shared-memory multiprocessor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Marketing / model name, e.g. `"Intel Xeon 7560 (Nehalem EX)"`.
+    pub name: String,
+    /// Number of processor sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core (SMT ways).
+    pub smt: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// L1 data cache per core, bytes.
+    pub l1_bytes: usize,
+    /// L2 cache per core, bytes.
+    pub l2_bytes: usize,
+    /// Shared L3 cache per socket, bytes.
+    pub l3_bytes: usize,
+    /// Cache line size, bytes.
+    pub cacheline: usize,
+    /// DDR3 memory channels per socket.
+    pub mem_channels: usize,
+    /// Installed memory, bytes.
+    pub memory_bytes: u64,
+    /// Maximum outstanding memory requests a single thread sustains —
+    /// the paper measures ~10 on both Nehalem EP and EX.
+    pub max_outstanding_per_thread: usize,
+    /// Maximum outstanding requests a whole socket sustains (50 on EP,
+    /// 75 on EX per the paper's §II).
+    pub max_outstanding_per_socket: usize,
+}
+
+impl MachineSpec {
+    /// The paper's dual-socket Nehalem EP (Xeon X5570): 2 × 4 cores × 2 SMT
+    /// at 2.93 GHz, 8 MB L3, 3 DDR3 channels, 48 GB.
+    pub fn nehalem_ep() -> Self {
+        Self {
+            name: "Intel Xeon X5570 (Nehalem EP, 2 sockets)".into(),
+            sockets: 2,
+            cores_per_socket: 4,
+            smt: 2,
+            freq_ghz: 2.93,
+            l1_bytes: 32 << 10,
+            l2_bytes: 256 << 10,
+            l3_bytes: 8 << 20,
+            cacheline: 64,
+            mem_channels: 3,
+            memory_bytes: 48 << 30,
+            max_outstanding_per_thread: 10,
+            max_outstanding_per_socket: 50,
+        }
+    }
+
+    /// The paper's 4-socket Nehalem EX (Xeon 7560): 4 × 8 cores × 2 SMT at
+    /// 2.26 GHz, 24 MB L3, 4 DDR3 channels, 256 GB.
+    pub fn nehalem_ex() -> Self {
+        Self {
+            name: "Intel Xeon 7560 (Nehalem EX, 4 sockets)".into(),
+            sockets: 4,
+            cores_per_socket: 8,
+            smt: 2,
+            freq_ghz: 2.26,
+            l1_bytes: 32 << 10,
+            l2_bytes: 256 << 10,
+            l3_bytes: 24 << 20,
+            cacheline: 64,
+            mem_channels: 4,
+            memory_bytes: 256 << 30,
+            max_outstanding_per_thread: 10,
+            max_outstanding_per_socket: 75,
+        }
+    }
+
+    /// The 8-socket Nehalem EX assembly of the paper's Fig. 1.
+    pub fn nehalem_ex_8s() -> Self {
+        let mut m = Self::nehalem_ex();
+        m.name = "Intel Xeon 7560 (Nehalem EX, 8 sockets)".into();
+        m.sockets = 8;
+        m.memory_bytes = 512 << 30;
+        m
+    }
+
+    /// A custom machine; cache/latency parameters default to Nehalem-EP
+    /// values.
+    pub fn custom(name: &str, sockets: usize, cores_per_socket: usize, smt: usize) -> Self {
+        let mut m = Self::nehalem_ep();
+        m.name = name.into();
+        m.sockets = sockets.max(1);
+        m.cores_per_socket = cores_per_socket.max(1);
+        m.smt = smt.max(1);
+        m
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads.
+    pub fn total_threads(&self) -> usize {
+        self.total_cores() * self.smt
+    }
+
+    /// The paper's thread-placement policy: fill one thread per core on
+    /// socket 0, then socket 1, …, and only then start placing SMT siblings
+    /// ("we use one thread per core up to 8 threads and use SMT to scale to
+    /// 16 threads"). Returns, for each of `threads` worker threads, the
+    /// socket it lands on.
+    pub fn socket_of_thread(&self, thread: usize, threads: usize) -> usize {
+        let threads = threads.min(self.total_threads()).max(1);
+        let thread = thread % threads;
+        let cores = self.total_cores();
+        if thread < cores {
+            thread / self.cores_per_socket
+        } else {
+            (thread - cores) / self.cores_per_socket
+        }
+    }
+
+    /// Number of distinct sockets occupied when running `threads` threads
+    /// under the placement policy of [`MachineSpec::socket_of_thread`].
+    pub fn sockets_used(&self, threads: usize) -> usize {
+        let threads = threads.max(1).min(self.total_threads());
+        let per_socket_round = self.cores_per_socket;
+        threads.div_ceil(per_socket_round).min(self.sockets)
+    }
+
+    /// Threads running on socket `s` out of `threads` total.
+    pub fn threads_on_socket(&self, s: usize, threads: usize) -> usize {
+        (0..threads.min(self.total_threads()))
+            .filter(|&t| self.socket_of_thread(t, threads) == s)
+            .count()
+    }
+
+    /// Logical-CPU affinity list in placement order, following the paper's
+    /// Table I numbering: socket `s` owns logical CPUs
+    /// `s*cps .. (s+1)*cps` and their SMT siblings at `total_cores + same`.
+    pub fn affinity_order(&self) -> Vec<usize> {
+        let cores = self.total_cores();
+        let mut order: Vec<usize> = (0..cores).collect();
+        for smt_way in 1..self.smt {
+            order.extend((0..cores).map(|c| smt_way * cores + c));
+        }
+        order
+    }
+
+    /// Formats the Table I row for this machine.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<42} {:>5.2} GHz {:>3} sockets {:>3} cores/socket {:>2} SMT  L3 {:>3} MB  {:>2} ch  {:>4} GB",
+            self.name,
+            self.freq_ghz,
+            self.sockets,
+            self.cores_per_socket,
+            self.smt,
+            self.l3_bytes >> 20,
+            self.mem_channels,
+            self.memory_bytes >> 30,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep_matches_table_i() {
+        let ep = MachineSpec::nehalem_ep();
+        assert_eq!(ep.total_cores(), 8);
+        assert_eq!(ep.total_threads(), 16);
+        assert_eq!(ep.l3_bytes, 8 << 20);
+        assert_eq!(ep.mem_channels, 3);
+        assert!((ep.freq_ghz - 2.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ex_matches_table_i() {
+        let ex = MachineSpec::nehalem_ex();
+        assert_eq!(ex.total_cores(), 32);
+        assert_eq!(ex.total_threads(), 64);
+        assert_eq!(ex.l3_bytes, 24 << 20);
+        assert_eq!(ex.max_outstanding_per_socket, 75);
+    }
+
+    #[test]
+    fn placement_fills_cores_before_smt() {
+        let ep = MachineSpec::nehalem_ep();
+        // 8 threads on EP: one per core, sockets 0 and 1 (4 each).
+        assert_eq!(ep.socket_of_thread(0, 8), 0);
+        assert_eq!(ep.socket_of_thread(3, 8), 0);
+        assert_eq!(ep.socket_of_thread(4, 8), 1);
+        assert_eq!(ep.socket_of_thread(7, 8), 1);
+        // 16 threads: SMT siblings wrap back to socket 0.
+        assert_eq!(ep.socket_of_thread(8, 16), 0);
+        assert_eq!(ep.socket_of_thread(12, 16), 1);
+    }
+
+    #[test]
+    fn sockets_used_crosses_boundary_at_cores_per_socket() {
+        let ep = MachineSpec::nehalem_ep();
+        assert_eq!(ep.sockets_used(1), 1);
+        assert_eq!(ep.sockets_used(4), 1);
+        assert_eq!(ep.sockets_used(5), 2);
+        assert_eq!(ep.sockets_used(16), 2);
+        let ex = MachineSpec::nehalem_ex();
+        assert_eq!(ex.sockets_used(8), 1);
+        assert_eq!(ex.sockets_used(9), 2);
+        assert_eq!(ex.sockets_used(64), 4);
+    }
+
+    #[test]
+    fn threads_on_socket_sums_to_total() {
+        let ex = MachineSpec::nehalem_ex();
+        for threads in [1, 7, 8, 16, 33, 64] {
+            let total: usize = (0..ex.sockets).map(|s| ex.threads_on_socket(s, threads)).sum();
+            assert_eq!(total, threads.min(ex.total_threads()), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn affinity_order_covers_all_threads_once() {
+        let ex = MachineSpec::nehalem_ex();
+        let order = ex.affinity_order();
+        assert_eq!(order.len(), 64);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // First 32 entries are one per physical core.
+        assert_eq!(order[..32], (0..32).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn custom_machine_clamps_degenerate_values() {
+        let m = MachineSpec::custom("host", 0, 0, 0);
+        assert_eq!(m.sockets, 1);
+        assert_eq!(m.cores_per_socket, 1);
+        assert_eq!(m.smt, 1);
+        assert_eq!(m.total_threads(), 1);
+    }
+
+    #[test]
+    fn table_row_mentions_name() {
+        assert!(MachineSpec::nehalem_ep().table_row().contains("Nehalem EP"));
+    }
+}

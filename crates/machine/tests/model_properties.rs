@@ -1,0 +1,176 @@
+//! Property tests on the cost model: physical sanity must hold for *any*
+//! workload profile, not just the ones the figures happen to produce.
+
+use mcbfs_machine::model::{CostParams, MachineModel};
+use mcbfs_machine::profile::{LevelProfile, ThreadCounts, WorkProfile};
+use mcbfs_machine::topology::MachineSpec;
+use proptest::prelude::*;
+
+fn arb_counts() -> impl Strategy<Value = ThreadCounts> {
+    (
+        0u64..10_000,
+        0u64..100_000,
+        0u64..100_000,
+        0u64..10_000,
+        0u64..5_000,
+        0u64..5_000,
+    )
+        .prop_map(|(v, e, probes, atomics, items, drained)| ThreadCounts {
+            vertices_scanned: v,
+            edges_scanned: e,
+            bitmap_reads: probes,
+            remote_bitmap_reads: probes / 4,
+            atomic_ops: atomics,
+            remote_atomic_ops: atomics / 4,
+            parent_writes: v.min(5_000),
+            queue_pushes: v.min(5_000),
+            channel_items: items,
+            channel_batches: items / 64,
+            channel_drained: drained,
+        })
+}
+
+fn arb_profile() -> impl Strategy<Value = WorkProfile> {
+    (
+        proptest::collection::vec(proptest::collection::vec(arb_counts(), 1..8), 1..6),
+        1u64..(1 << 30),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..5,
+    )
+        .prop_map(|(levels_counts, num_vertices, pipelined, sharded, sockets)| {
+            let threads = levels_counts[0].len();
+            let levels: Vec<LevelProfile> = levels_counts
+                .into_iter()
+                .map(|counts| {
+                    let mut l = LevelProfile::new(threads, 2);
+                    for (i, c) in counts.into_iter().enumerate().take(threads) {
+                        l.threads[i] = c;
+                    }
+                    l
+                })
+                .collect();
+            let edges: u64 = levels.iter().map(|l| l.total().edges_scanned).sum();
+            WorkProfile {
+                levels,
+                threads,
+                sockets,
+                num_vertices,
+                visited_bytes: num_vertices.div_ceil(8),
+                pipelined,
+                sharded_state: sharded,
+                edges_traversed: edges,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn predictions_are_finite_and_nonnegative(profile in arb_profile()) {
+        for model in [MachineModel::nehalem_ep(), MachineModel::nehalem_ex()] {
+            let p = model.predict(&profile);
+            prop_assert!(p.seconds.is_finite() && p.seconds >= 0.0);
+            prop_assert!(p.edges_per_second.is_finite() && p.edges_per_second >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&p.barrier_fraction));
+            prop_assert_eq!(p.level_seconds.len(), profile.num_levels());
+            let sum: f64 = p.level_seconds.iter().sum();
+            prop_assert!((sum - p.seconds).abs() < 1e-9 * p.seconds.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn more_work_never_predicts_less_time(profile in arb_profile()) {
+        let model = MachineModel::nehalem_ep();
+        let base = model.predict(&profile).seconds;
+        let mut heavier = profile.clone();
+        for l in &mut heavier.levels {
+            for t in &mut l.threads {
+                t.edges_scanned += 1_000;
+                t.bitmap_reads += 1_000;
+            }
+        }
+        prop_assert!(model.predict(&heavier).seconds >= base);
+    }
+
+    #[test]
+    fn pipelining_never_hurts(profile in arb_profile()) {
+        let model = MachineModel::nehalem_ep();
+        let mut on = profile.clone();
+        on.pipelined = true;
+        let mut off = profile;
+        off.pipelined = false;
+        prop_assert!(model.predict(&on).seconds <= model.predict(&off).seconds + 1e-12);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_working_set(a in 1u64..(1 << 34), b in 1u64..(1 << 34)) {
+        let model = MachineModel::nehalem_ep();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(model.random_latency_ns(lo) <= model.random_latency_ns(hi) + 1e-9);
+    }
+
+    #[test]
+    fn read_rate_monotone_in_batch(ws in 1u64..(1 << 32), b1 in 1usize..32, b2 in 1usize..32) {
+        let model = MachineModel::nehalem_ex();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(model.random_read_rate(ws, lo) <= model.random_read_rate(ws, hi) + 1e-6);
+    }
+
+    #[test]
+    fn fetch_add_rate_positive_and_bounded(threads in 1usize..128) {
+        let model = MachineModel::nehalem_ex();
+        let r = model.fetch_add_rate(threads);
+        prop_assert!(r > 0.0);
+        // Never better than perfectly parallel uncontended atomics.
+        let ideal = threads.min(model.spec.total_threads()) as f64
+            / (model.params.atomic_local_ns * 1e-9);
+        prop_assert!(r <= ideal + 1.0);
+    }
+
+    #[test]
+    fn barrier_cost_monotone(t1 in 1usize..256, t2 in 1usize..256) {
+        let model = MachineModel::nehalem_ep();
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(model.barrier_seconds(lo) <= model.barrier_seconds(hi));
+    }
+
+    #[test]
+    fn sharded_state_never_slower_than_shared(profile in arb_profile()) {
+        // Sharding can only shrink the probed working set and remove remote
+        // probes — never the reverse.
+        let model = MachineModel::nehalem_ep();
+        let mut sharded = profile.clone();
+        sharded.sharded_state = true;
+        let mut shared = profile;
+        shared.sharded_state = false;
+        prop_assert!(
+            model.predict(&sharded).seconds <= model.predict(&shared).seconds + 1e-12
+        );
+    }
+}
+
+#[test]
+fn custom_params_respected() {
+    let mut model = MachineModel::with_spec(MachineSpec::custom("x", 2, 4, 2));
+    model.params = CostParams {
+        seq_edge_ns: 10.0,
+        ..CostParams::default()
+    };
+    let mut level = LevelProfile::new(1, 0);
+    level.threads[0].edges_scanned = 1_000_000;
+    let profile = WorkProfile {
+        levels: vec![level],
+        threads: 1,
+        sockets: 1,
+        num_vertices: 10,
+        visited_bytes: 2,
+        pipelined: false,
+        sharded_state: true,
+        edges_traversed: 1_000_000,
+    };
+    // 1M edges at 10ns each = 10ms plus rounding.
+    let p = model.predict(&profile);
+    assert!(p.seconds >= 0.01, "{}", p.seconds);
+}

@@ -1,0 +1,78 @@
+//! Thread affinity: pinning worker threads to cores.
+//!
+//! The paper relies on "the thread and memory affinity libraries" of Linux
+//! to place one thread per core and keep each socket's data in its local
+//! memory. Here pinning is best-effort: on Linux we call
+//! `sched_setaffinity`; elsewhere (or when the requested core does not
+//! exist) pinning silently degrades to a no-op, because the algorithms are
+//! correct regardless of placement — only performance is affected.
+
+/// Outcome of a pin request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinResult {
+    /// The calling thread is now bound to the requested core.
+    Pinned,
+    /// Pinning is unsupported on this platform or failed; execution
+    /// continues unpinned.
+    Unsupported,
+}
+
+/// Attempts to bind the calling thread to logical CPU `core`.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> PinResult {
+    // SAFETY: cpu_set_t is plain old data; zeroing is its documented
+    // initialization, and CPU_SET/sched_setaffinity are used per the man
+    // pages with the set's true size.
+    unsafe {
+        let mut set: libc::cpu_set_t = core::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        if core >= libc::CPU_SETSIZE as usize {
+            return PinResult::Unsupported;
+        }
+        libc::CPU_SET(core, &mut set);
+        let rc = libc::sched_setaffinity(0, core::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc == 0 {
+            PinResult::Pinned
+        } else {
+            PinResult::Unsupported
+        }
+    }
+}
+
+/// Attempts to bind the calling thread to logical CPU `core` (no-op
+/// fallback for non-Linux platforms).
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> PinResult {
+    PinResult::Unsupported
+}
+
+/// Number of logical CPUs available to this process.
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_to_core_zero_succeeds_or_degrades() {
+        // Core 0 always exists; the call must not panic and must return one
+        // of the two documented outcomes.
+        let r = pin_current_thread(0);
+        assert!(matches!(r, PinResult::Pinned | PinResult::Unsupported));
+    }
+
+    #[test]
+    fn pin_to_absurd_core_degrades() {
+        let r = pin_current_thread(1 << 20);
+        assert_eq!(r, PinResult::Unsupported);
+    }
+
+    #[test]
+    fn available_cpus_is_positive() {
+        assert!(available_cpus() >= 1);
+    }
+}

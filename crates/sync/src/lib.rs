@@ -1,0 +1,49 @@
+//! Synchronization substrates for the multicore BFS reproduction.
+//!
+//! The SC'10 paper ("Scalable Graph Exploration on Multicore Processors",
+//! Agarwal, Petrini, Pasetto, Bader) builds its inter-socket communication
+//! layer from two published building blocks:
+//!
+//! * the **Ticket Lock** of Sridharan et al. (SPAA'07) — a fair FIFO
+//!   spin lock ([`ticket::TicketLock`]) — plus the **MCS queue lock** that
+//!   paper compares it against ([`mcs::McsLock`]), so the choice is
+//!   benchmarkable;
+//! * the **FastForward** queue of Giacomoni et al. (PPoPP'08) — a
+//!   cache-optimized single-producer/single-consumer lock-free ring
+//!   ([`fastforward::FastForward`]).
+//!
+//! The paper's *remote channel* is "a FastForward queue where both producers
+//! and consumers are protected on their respective side by a Ticket Lock",
+//! with **batched** insertion to amortize locking: that composite lives in
+//! [`channel::SocketChannel`], with the per-thread accumulation buffer in
+//! [`channel::BatchBuffer`].
+//!
+//! The level-synchronous BFS additionally needs:
+//!
+//! * a barrier for the `Synchronize` steps of Algorithms 2 and 3
+//!   ([`barrier::SpinBarrier`]);
+//! * shared work queues with atomic chunked dequeue and reserved batch
+//!   enqueue — the `LockedDequeue` / `LockedEnqueue` primitives of the
+//!   pseudo-code ([`workq::SharedQueue`]);
+//! * a pinned worker pool standing in for the paper's pthread + affinity
+//!   setup ([`pool`], [`affinity`]).
+//!
+//! All primitives are independent of the graph code and are reusable for any
+//! pipeline-parallel or level-synchronous workload.
+
+pub mod affinity;
+pub mod barrier;
+pub mod channel;
+pub mod fastforward;
+pub mod mcs;
+pub mod pool;
+pub mod ticket;
+pub mod workq;
+
+pub use barrier::SpinBarrier;
+pub use channel::{BatchBuffer, SocketChannel};
+pub use fastforward::FastForward;
+pub use mcs::McsLock;
+pub use pool::WorkerPool;
+pub use ticket::TicketLock;
+pub use workq::SharedQueue;

@@ -1,0 +1,247 @@
+//! MCS queue lock — the other contender in the paper's lock citation.
+//!
+//! Sridharan, Rodrigues and Kogge (SPAA'07), which the paper cites for the
+//! Ticket Lock, evaluates it *against* the MCS lock (Mellor-Crummey &
+//! Scott): each waiter spins on its **own** queue node instead of the
+//! shared now-serving counter, so lock hand-off touches exactly one remote
+//! cache line regardless of the number of waiters. The trade-off is an
+//! extra pointer swap on acquire and a node to carry around. We provide it
+//! so the channel-guard choice can be benchmarked rather than assumed
+//! (`cargo bench -p mcbfs-bench locks`).
+
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::cell::UnsafeCell;
+use std::ptr;
+
+/// A waiter's queue node. Stack-allocated by the caller of
+/// [`McsLock::lock`]; must live until the guard is dropped (enforced by
+/// the borrow in the guard).
+#[derive(Debug)]
+pub struct McsNode {
+    next: AtomicPtr<McsNode>,
+    locked: AtomicBool,
+}
+
+impl McsNode {
+    /// A fresh, unqueued node.
+    pub fn new() -> Self {
+        Self {
+            next: AtomicPtr::new(ptr::null_mut()),
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Default for McsNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An MCS queue lock protecting a value of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_sync::mcs::{McsLock, McsNode};
+///
+/// let lock = McsLock::new(0u64);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             for _ in 0..1_000 {
+///                 let mut node = McsNode::new();
+///                 *lock.lock(&mut node) += 1;
+///             }
+///         });
+///     }
+/// });
+/// let mut node = McsNode::new();
+/// assert_eq!(*lock.lock(&mut node), 4_000);
+/// ```
+pub struct McsLock<T: ?Sized> {
+    tail: AtomicPtr<McsNode>,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the queue protocol provides mutual exclusion over `value`.
+unsafe impl<T: ?Sized + Send> Sync for McsLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for McsLock<T> {}
+
+impl<T> McsLock<T> {
+    /// Creates an unlocked MCS lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> McsLock<T> {
+    /// Acquires the lock using `node` as this thread's queue entry.
+    pub fn lock<'a>(&'a self, node: &'a mut McsNode) -> McsGuard<'a, T> {
+        node.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node.locked.store(true, Ordering::Relaxed);
+        let node_ptr: *mut McsNode = node;
+        let prev = self.tail.swap(node_ptr, Ordering::AcqRel);
+        if !prev.is_null() {
+            // Queue behind `prev` and spin on our own flag only.
+            // SAFETY: `prev` is a queued node; its owner keeps it alive
+            // until it hands the lock to us (it cannot release its guard
+            // and reuse the node before setting our `locked` flag).
+            unsafe { (*prev).next.store(node_ptr, Ordering::Release) };
+            let mut spins = 0u32;
+            while node.locked.load(Ordering::Acquire) {
+                core::hint::spin_loop();
+                spins += 1;
+                if spins > 1 << 16 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        McsGuard { lock: self, node: node_ptr }
+    }
+
+    /// `true` if some thread currently holds or awaits the lock (racy).
+    pub fn is_contended(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+/// RAII guard; hands the lock to the next queued waiter on drop.
+pub struct McsGuard<'a, T: ?Sized> {
+    lock: &'a McsLock<T>,
+    node: *mut McsNode,
+}
+
+impl<T: ?Sized> core::ops::Deref for McsGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves we hold the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> core::ops::DerefMut for McsGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard proves we hold the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for McsGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `self.node` is our own queued node, alive for the guard's
+        // lifetime by construction.
+        let node = unsafe { &*self.node };
+        let mut next = node.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: try to swing the tail back to empty.
+            if self
+                .lock
+                .tail
+                .compare_exchange(self.node, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor is in the middle of linking; wait for it.
+            loop {
+                next = node.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                core::hint::spin_loop();
+            }
+        }
+        // SAFETY: `next` is the successor's live node; releasing its flag
+        // transfers the lock.
+        unsafe { (*next).locked.store(false, Ordering::Release) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let lock = McsLock::new(5);
+        {
+            let mut node = McsNode::new();
+            let mut g = lock.lock(&mut node);
+            *g += 1;
+        }
+        let mut node = McsNode::new();
+        assert_eq!(*lock.lock(&mut node), 6);
+        assert!(!lock.is_contended());
+    }
+
+    #[test]
+    fn into_inner() {
+        let lock = McsLock::new(vec![1, 2, 3]);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 2_000;
+        let lock = McsLock::new(0usize);
+        let in_cs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        let mut node = McsNode::new();
+                        let mut g = lock.lock(&mut node);
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        *g += 1;
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                    }
+                });
+            }
+        });
+        let mut node = McsNode::new();
+        assert_eq!(*lock.lock(&mut node), THREADS * ITERS);
+    }
+
+    #[test]
+    fn is_contended_while_held() {
+        let lock = McsLock::new(());
+        let mut node = McsNode::new();
+        let g = lock.lock(&mut node);
+        assert!(lock.is_contended());
+        drop(g);
+        assert!(!lock.is_contended());
+    }
+
+    #[test]
+    fn handoff_chain_of_three() {
+        // Three threads take the lock in a forced chain; each must observe
+        // the prior increment.
+        let lock = McsLock::new(0u32);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        let mut node = McsNode::new();
+                        let mut g = lock.lock(&mut node);
+                        let before = *g;
+                        *g = before + 1;
+                    }
+                });
+            }
+        });
+        let mut node = McsNode::new();
+        assert_eq!(*lock.lock(&mut node), 3_000);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests on the synchronization primitives: FIFO order of the
+//! FastForward queue under arbitrary operation interleavings, channel
+//! conservation under arbitrary batch splits, and shared-queue chunking.
+
+use mcbfs_sync::channel::{BatchBuffer, SocketChannel};
+use mcbfs_sync::fastforward::FastForward;
+use mcbfs_sync::workq::SharedQueue;
+use proptest::prelude::*;
+
+/// An abstract op sequence for the SPSC queue.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u32>().prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fastforward_matches_vecdeque_model(ops in arb_ops(), cap in 1usize..64) {
+        let (mut tx, mut rx) = FastForward::with_capacity(cap);
+        let real_cap = tx.capacity();
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let ours = tx.push(v);
+                    if model.len() < real_cap {
+                        prop_assert!(ours.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(ours.is_err());
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+        }
+        // Drain fully: remaining contents must match.
+        while let Some(v) = rx.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn channel_preserves_order_across_batch_splits(
+        items in proptest::collection::vec(any::<u64>(), 0..500),
+        batch in 1usize..64,
+        recv_chunk in 1usize..64,
+    ) {
+        let ch: SocketChannel<u64> = SocketChannel::with_capacity(1 << 10);
+        let mut buf = BatchBuffer::new(batch);
+        for &v in &items {
+            buf.push(v, &ch);
+        }
+        buf.flush(&ch);
+        let mut out = Vec::new();
+        while ch.recv_batch(&mut out, recv_chunk) > 0 {}
+        prop_assert_eq!(out, items);
+        prop_assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn try_send_batch_sends_exact_prefix(
+        items in proptest::collection::vec(any::<u32>(), 0..100),
+        cap in 1usize..32,
+    ) {
+        let ch: SocketChannel<u32> = SocketChannel::with_capacity(cap);
+        let sent = ch.try_send_batch(&items);
+        prop_assert!(sent <= items.len());
+        prop_assert_eq!(ch.pending(), sent);
+        let mut out = Vec::new();
+        ch.recv_batch(&mut out, usize::MAX);
+        prop_assert_eq!(&out[..], &items[..sent]);
+    }
+
+    #[test]
+    fn shared_queue_chunked_drain_is_a_partition(
+        items in proptest::collection::vec(any::<u32>(), 0..300),
+        chunk in 1usize..50,
+    ) {
+        let q: SharedQueue<u32> = SharedQueue::with_capacity(items.len().max(1));
+        q.push_batch(&items);
+        let mut drained = Vec::new();
+        while let Some(c) = q.take_chunk(chunk) {
+            prop_assert!(c.len() <= chunk);
+            drained.extend_from_slice(c);
+        }
+        prop_assert_eq!(drained, items);
+    }
+
+    #[test]
+    fn batch_buffer_flush_count_is_ceiling(
+        n in 0usize..1_000,
+        batch in 1usize..128,
+    ) {
+        let ch: SocketChannel<usize> = SocketChannel::with_capacity(1 << 11);
+        let mut buf = BatchBuffer::new(batch);
+        for i in 0..n {
+            buf.push(i, &ch);
+        }
+        buf.flush(&ch);
+        prop_assert_eq!(buf.flushes(), n.div_ceil(batch));
+        prop_assert_eq!(ch.pending(), n);
+    }
+}

@@ -1,0 +1,59 @@
+//! Persisting benchmark graphs: generate once, reuse across runs.
+//!
+//! ```text
+//! cargo run --release --example persist_graph [path] [vertices_log2]
+//! ```
+
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::io;
+use multicore_bfs::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "/tmp/mcbfs_graph.csr".into());
+    let scale: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let graph = if std::path::Path::new(&path).exists() {
+        println!("Loading CSR graph from {path} ...");
+        let mut r = BufReader::new(File::open(&path).expect("open graph file"));
+        match io::read_csr(&mut r) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}; regenerating");
+                regenerate(&path, scale)
+            }
+        }
+    } else {
+        regenerate(&path, scale)
+    };
+
+    println!(
+        "Graph ready: {} vertices, {} edges ({:.1} MB on disk)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        std::fs::metadata(&path).map(|m| m.len() as f64 / 1e6).unwrap_or(0.0)
+    );
+
+    let result = BfsRunner::new(&graph)
+        .algorithm(Algorithm::SingleSocket)
+        .threads(4)
+        .run(0);
+    validate_bfs_tree(&graph, 0, &result.parents).expect("valid tree");
+    println!(
+        "BFS: {} vertices in {} levels at {:.1} ME/s",
+        result.stats.vertices_visited,
+        result.stats.levels,
+        result.stats.me_per_s()
+    );
+    println!("Rerun this example to skip generation (delete {path} to regenerate).");
+}
+
+fn regenerate(path: &str, scale: u32) -> multicore_bfs::graph::csr::CsrGraph {
+    println!("Generating an R-MAT graph (2^{scale} vertices) and saving to {path} ...");
+    let graph = RmatBuilder::new(scale, 8).seed(12).permute(true).build();
+    let mut w = BufWriter::new(File::create(path).expect("create graph file"));
+    io::write_csr(&mut w, &graph).expect("serialize graph");
+    graph
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a scale-free graph, run the multi-socket BFS, inspect
+//! the result, and validate the tree.
+//!
+//! ```text
+//! cargo run --release --example quickstart [vertices_log2] [avg_degree] [threads]
+//! ```
+
+use multicore_bfs::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let degree: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("Generating an R-MAT graph with 2^{scale} vertices, avg degree {degree} ...");
+    let graph = RmatBuilder::new(scale, degree).seed(42).build();
+    println!(
+        "  {} vertices, {} directed edges, max degree {}, {:.1} MB",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree(),
+        graph.memory_bytes() as f64 / 1e6
+    );
+
+    println!("Running the multi-socket BFS (Algorithm 3) on {threads} threads ...");
+    let result = BfsRunner::new(&graph)
+        .algorithm(Algorithm::MultiSocket { sockets: 2 })
+        .threads(threads)
+        .run(0);
+
+    let s = &result.stats;
+    println!(
+        "  visited {} vertices over {} levels in {:.1} ms — {:.1} ME/s",
+        s.vertices_visited,
+        s.levels,
+        s.seconds * 1e3,
+        s.me_per_s()
+    );
+    println!(
+        "  ops: {} edges scanned, {} bitmap probes, {} atomics ({}x fewer than probes), \
+         {} channel tuples in {} batches",
+        s.totals.edges_scanned,
+        s.totals.bitmap_reads,
+        s.totals.atomic_ops,
+        s.totals.bitmap_reads.checked_div(s.totals.atomic_ops).unwrap_or(0),
+        s.totals.channel_items,
+        s.totals.channel_batches,
+    );
+
+    print!("Validating the BFS tree ... ");
+    match validate_bfs_tree(&graph, 0, &result.parents) {
+        Ok(info) => println!(
+            "ok: {} reachable vertices, eccentricity {}, {} reachable edges",
+            info.visited, info.max_level, info.reachable_edges
+        ),
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Same search, priced on the paper's 4-socket Nehalem EX by the model.
+    let model = MachineModel::nehalem_ex();
+    let predicted = BfsRunner::new(&graph)
+        .algorithm(Algorithm::MultiSocket { sockets: 4 })
+        .threads(64)
+        .mode(multicore_bfs::core::runner::ExecMode::model(model))
+        .run(0);
+    println!(
+        "Model: the same search on a 4-socket Nehalem EX with 64 threads would run at \
+         {:.0} ME/s ({:.1} ms)",
+        predicted.stats.me_per_s(),
+        predicted.stats.seconds * 1e3
+    );
+}

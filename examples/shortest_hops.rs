@@ -1,0 +1,88 @@
+//! Semantic-graph analysis: hop distances and shortest paths from BFS
+//! parent trees — "in the analysis of semantic graphs the relationship
+//! between two vertices is expressed by the properties of the shortest path
+//! between them, given by a BFS search" (paper §I).
+//!
+//! ```text
+//! cargo run --release --example shortest_hops [vertices_log2] [pairs]
+//! ```
+
+use multicore_bfs::graph::csr::UNVISITED;
+use multicore_bfs::graph::validate::sequential_levels;
+use multicore_bfs::prelude::*;
+
+/// Reconstructs the root→target path from a BFS parent array.
+fn extract_path(parents: &[u32], root: u32, target: u32) -> Option<Vec<u32>> {
+    if parents[target as usize] == UNVISITED {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut v = target;
+    while v != root {
+        v = parents[v as usize];
+        path.push(v);
+        if path.len() > parents.len() {
+            unreachable!("parent cycle — validator would have caught this");
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let pairs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+
+    println!("Generating an R-MAT 'semantic' graph (2^{scale} vertices) ...");
+    let graph = RmatBuilder::new(scale, 6).seed(99).build();
+    let root: u32 = 1;
+
+    println!("Single BFS from vertex {root} answers every distance query from it:");
+    let result = BfsRunner::new(&graph)
+        .algorithm(Algorithm::SingleSocket)
+        .threads(4)
+        .run(root);
+    validate_bfs_tree(&graph, root, &result.parents).expect("BFS tree must be valid");
+
+    let levels = sequential_levels(&graph, root);
+    let n = graph.num_vertices() as u32;
+    let mut shown = 0;
+    let mut probe = 17u32; // deterministic pseudo-random walk over targets
+    while shown < pairs {
+        probe = probe.wrapping_mul(2654435761).wrapping_add(12345) % n;
+        match extract_path(&result.parents, root, probe) {
+            Some(path) => {
+                println!(
+                    "  {} -> {}: {} hops via {:?}{}",
+                    root,
+                    probe,
+                    path.len() - 1,
+                    &path[..path.len().min(8)],
+                    if path.len() > 8 { " ..." } else { "" }
+                );
+                // Parent-tree distance must equal true hop distance.
+                assert_eq!(path.len() as u32 - 1, levels[probe as usize]);
+                shown += 1;
+            }
+            None => {
+                println!("  {root} -> {probe}: unreachable");
+                shown += 1;
+            }
+        }
+    }
+
+    // Distance histogram — the "small world" signature of power-law graphs.
+    let mut hist = [0usize; 16];
+    for &l in &levels {
+        if l != u32::MAX {
+            hist[(l as usize).min(15)] += 1;
+        }
+    }
+    println!("Hop-distance histogram from vertex {root}:");
+    for (d, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            println!("  {d:>2} hops: {count:>8} vertices");
+        }
+    }
+}

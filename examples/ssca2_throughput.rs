@@ -1,0 +1,43 @@
+//! The SSCA#2-style multi-instance throughput scenario of the paper's
+//! Fig. 10: several independent BFS searches at once, one "socket" each.
+//!
+//! ```text
+//! cargo run --release --example ssca2_throughput [instances] [vertices] [threads_per_instance]
+//! ```
+
+use multicore_bfs::core::throughput::{throughput_model, throughput_native};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let instances: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 16);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+
+    println!("Building {instances} SSCA#2-style graphs with {n} vertices each ...");
+    let graphs: Vec<_> = (0..instances)
+        .map(|i| Ssca2Builder::new(n).max_clique_size(16).seed(33 + i as u64).build())
+        .collect();
+    let roots = vec![0u32; instances];
+
+    println!("Running {instances} concurrent searches, {threads} threads each (native) ...");
+    let t = throughput_native(&graphs, &roots, threads);
+    println!(
+        "  aggregate {:.1} ME/s over {:.1} ms ({} edges total)",
+        t.aggregate_edges_per_second() / 1e6,
+        t.seconds * 1e3,
+        t.edges_per_instance.iter().sum::<u64>()
+    );
+    for (i, e) in t.edges_per_instance.iter().enumerate() {
+        println!("  instance {i}: {e} edges traversed");
+    }
+
+    let model = MachineModel::nehalem_ex();
+    let tm = throughput_model(&graphs, &roots, 16, &model);
+    println!(
+        "Model: on a Nehalem EX with one instance per socket (16 threads each) the \
+         aggregate would be {:.0} ME/s at this graph size",
+        tm.aggregate_edges_per_second() / 1e6
+    );
+}

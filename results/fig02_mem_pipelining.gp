@@ -1,0 +1,11 @@
+set title "Fig. 2: random reads/s vs working set, batch 1-16 (Nehalem EP model / this host native)"
+set xlabel "working set B"
+set ylabel "Mreads/s"
+set logscale x
+set key outside
+set datafile missing "?"
+plot "fig02_mem_pipelining.dat" using 1:2 with linespoints title "model batch=1", \
+     "fig02_mem_pipelining.dat" using 1:3 with linespoints title "model batch=2", \
+     "fig02_mem_pipelining.dat" using 1:4 with linespoints title "model batch=4", \
+     "fig02_mem_pipelining.dat" using 1:5 with linespoints title "model batch=8", \
+     "fig02_mem_pipelining.dat" using 1:6 with linespoints title "model batch=16"

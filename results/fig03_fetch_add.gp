@@ -1,0 +1,6 @@
+set title "Fig. 3: shared-buffer fetch-and-add rate vs threads (4 MB buffer)"
+set xlabel "threads"
+set ylabel "Mops/s"
+set key outside
+set datafile missing "?"
+plot "fig03_fetch_add.dat" using 1:2 with linespoints title "model (Nehalem EP)"

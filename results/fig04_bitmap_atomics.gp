@@ -1,0 +1,8 @@
+set title "Fig. 4: bitmap accesses vs atomic operations per BFS level (test-then-set on)"
+set xlabel "level"
+set ylabel "ops"
+set key outside
+set datafile missing "?"
+plot "fig04_bitmap_atomics.dat" using 1:2 with linespoints title "bitmap accesses", \
+     "fig04_bitmap_atomics.dat" using 1:3 with linespoints title "atomic operations", \
+     "fig04_bitmap_atomics.dat" using 1:4 with linespoints title "atomics w/o check"

@@ -1,0 +1,10 @@
+set title "Fig. 5: optimization impact, m=256M class, Nehalem EP model"
+set xlabel "threads"
+set ylabel "ME/s"
+set key outside
+set datafile missing "?"
+plot "fig05_optimizations.dat" using 1:2 with linespoints title "Alg1 locked-queues", \
+     "fig05_optimizations.dat" using 1:3 with linespoints title "+bitmap", \
+     "fig05_optimizations.dat" using 1:4 with linespoints title "+test-then-set (Alg2)", \
+     "fig05_optimizations.dat" using 1:5 with linespoints title "+channels+batching (Alg3)", \
+     "fig05_optimizations.dat" using 1:6 with linespoints title "Alg3 unbatched"

@@ -1,0 +1,6 @@
+set title "Fig. 10: SSCA#2-style throughput, one BFS instance per Nehalem EX socket"
+set xlabel "instances"
+set ylabel "ME/s"
+set key outside
+set datafile missing "?"
+plot "fig10_ssca2_throughput.dat" using 1:2 with linespoints title "model (EX, 16 thr/socket)"

@@ -1,0 +1,7 @@
+set title "Graph500-style kernel: TEPS quantiles over 16 random roots (R-MAT class)"
+set xlabel "quantile%"
+set ylabel "MTEPS"
+set key outside
+set datafile missing "?"
+plot "kernel_teps.dat" using 1:2 with linespoints title "EP model 16thr", \
+     "kernel_teps.dat" using 1:3 with linespoints title "EX model 64thr"

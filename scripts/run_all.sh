@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every figure and table of the paper's evaluation.
+# Usage: scripts/run_all.sh [--scale small|paper] [--mode model|native|both]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ARGS=("$@")
+cargo build --release -p mcbfs-bench --bins
+BINS=(
+  fig02_mem_pipelining
+  fig03_fetch_add
+  fig04_bitmap_atomics
+  fig05_optimizations
+  fig06_uniform_ep
+  fig07_rmat_ep
+  fig08_uniform_ex
+  fig09_rmat_ex
+  fig10_ssca2_throughput
+  kernel_teps
+  ablation_breakdown
+  table1_systems
+  table2_config
+  table3_comparison
+)
+mkdir -p results
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  ./target/release/"$bin" "${ARGS[@]}" | tee "results/${bin}.txt"
+  echo
+done
+echo "All experiment outputs are under results/"

@@ -1,0 +1,272 @@
+//! `mcbfs` — command-line front end to the multicore-bfs library.
+//!
+//! ```text
+//! mcbfs generate --kind rmat --scale 18 --degree 8 --out g.csr
+//! mcbfs bfs --graph g.csr --root 0 --threads 4 --algorithm multi:2
+//! mcbfs kernel --graph g.csr --searches 16 --threads 4
+//! mcbfs components --graph g.csr
+//! mcbfs stcon --graph g.csr --source 0 --target 99
+//! mcbfs model --machine ex --graph g.csr --threads 64
+//! mcbfs calibrate
+//! ```
+
+use multicore_bfs::core::components::connected_components;
+use multicore_bfs::core::kernel::run_kernel;
+use multicore_bfs::core::runner::{Algorithm, BfsRunner, ExecMode};
+use multicore_bfs::core::stcon::{st_connectivity, StConnectivity};
+use multicore_bfs::gen::grid::{GridBuilder, Stencil};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::csr::CsrGraph;
+use multicore_bfs::graph::io;
+use multicore_bfs::machine::calibrate::{calibrate_host, CalibrationEffort};
+use multicore_bfs::machine::model::MachineModel;
+use multicore_bfs::prelude::validate_bfs_tree;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage("");
+    };
+    let opts = parse_flags(args.collect());
+    match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "bfs" => cmd_bfs(&opts),
+        "kernel" => cmd_kernel(&opts),
+        "components" => cmd_components(&opts),
+        "stcon" => cmd_stcon(&opts),
+        "model" => cmd_model(&opts),
+        "calibrate" => cmd_calibrate(&opts),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: mcbfs <command> [flags]\n\
+         commands:\n\
+         \x20 generate    --kind uniform|rmat|ssca2|grid --scale N | --vertices N\n\
+         \x20             [--degree D] [--seed S] [--permute] --out PATH\n\
+         \x20 bfs         --graph PATH [--root R] [--threads T]\n\
+         \x20             [--algorithm seq|simple|single|multi:S]\n\
+         \x20 kernel      --graph PATH [--searches K] [--threads T] [--seed S]\n\
+         \x20 components  --graph PATH [--threads T]\n\
+         \x20 stcon       --graph PATH --source S --target T\n\
+         \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
+         \x20 calibrate   [--thorough]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_flags(raw: Vec<String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = raw.into_iter().peekable();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            usage(&format!("expected a --flag, got {flag:?}"));
+        };
+        // Boolean flags: next token is another flag or absent.
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap(),
+            _ => "true".to_string(),
+        };
+        out.insert(name.to_string(), value);
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    match opts.get(key) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| usage(&format!("bad --{key} {raw:?}"))),
+        None => default,
+    }
+}
+
+fn require(opts: &HashMap<String, String>, key: &str) -> String {
+    opts.get(key).cloned().unwrap_or_else(|| usage(&format!("missing --{key}")))
+}
+
+fn load_graph(opts: &HashMap<String, String>) -> CsrGraph {
+    let path = require(opts, "graph");
+    let file = File::open(&path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    io::read_csr(&mut BufReader::new(file))
+        .unwrap_or_else(|e| usage(&format!("cannot parse {path}: {e}")))
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) {
+    let kind = get(opts, "kind", "rmat".to_string());
+    let seed: u64 = get(opts, "seed", 42u64);
+    let degree: usize = get(opts, "degree", 8usize);
+    let graph = match kind.as_str() {
+        "uniform" => {
+            let n: usize = get(opts, "vertices", 1usize << get(opts, "scale", 16u32));
+            UniformBuilder::new(n, degree).seed(seed).build()
+        }
+        "rmat" => {
+            let scale: u32 = get(opts, "scale", 16u32);
+            RmatBuilder::new(scale, degree)
+                .seed(seed)
+                .permute(opts.contains_key("permute"))
+                .build()
+        }
+        "ssca2" => {
+            let n: usize = get(opts, "vertices", 1usize << get(opts, "scale", 16u32));
+            Ssca2Builder::new(n).seed(seed).build()
+        }
+        "grid" => {
+            let side: usize = get(opts, "side", 512usize);
+            GridBuilder::new(side, Stencil::Eight).build()
+        }
+        other => usage(&format!("unknown --kind {other:?}")),
+    };
+    let out = require(opts, "out");
+    let f = File::create(&out).unwrap_or_else(|e| usage(&format!("cannot create {out}: {e}")));
+    io::write_csr(&mut BufWriter::new(f), &graph).expect("serialize graph");
+    println!(
+        "wrote {}: {} vertices, {} edges, max degree {}",
+        out,
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+}
+
+fn parse_algorithm(spec: &str) -> Algorithm {
+    match spec {
+        "seq" | "sequential" => Algorithm::Sequential,
+        "simple" | "alg1" => Algorithm::Simple,
+        "single" | "alg2" => Algorithm::SingleSocket,
+        other => {
+            if let Some(s) = other.strip_prefix("multi:") {
+                let sockets = s.parse().unwrap_or_else(|_| usage(&format!("bad socket count {s:?}")));
+                Algorithm::MultiSocket { sockets }
+            } else {
+                usage(&format!("unknown --algorithm {other:?}"))
+            }
+        }
+    }
+}
+
+fn cmd_bfs(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let root: u32 = get(opts, "root", 0u32);
+    let threads: usize = get(opts, "threads", 1usize);
+    let algorithm = parse_algorithm(&get(opts, "algorithm", "single".to_string()));
+    let result = BfsRunner::new(&graph).algorithm(algorithm).threads(threads).run(root);
+    validate_bfs_tree(&graph, root, &result.parents)
+        .unwrap_or_else(|e| usage(&format!("produced invalid tree: {e}")));
+    let s = &result.stats;
+    println!(
+        "visited {} of {} vertices in {} levels; {:.3} ms; {:.1} ME/s ({} edges)",
+        s.vertices_visited,
+        graph.num_vertices(),
+        s.levels,
+        s.seconds * 1e3,
+        s.me_per_s(),
+        s.edges_traversed
+    );
+}
+
+fn cmd_kernel(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let searches: usize = get(opts, "searches", 16usize);
+    let threads: usize = get(opts, "threads", 1usize);
+    let seed: u64 = get(opts, "seed", 1u64);
+    let algorithm = parse_algorithm(&get(opts, "algorithm", "single".to_string()));
+    let stats = run_kernel(&graph, algorithm, threads, ExecMode::Native, searches, seed);
+    println!(
+        "{} searches: harmonic mean {:.2} MTEPS, min {:.2}, median {:.2}, max {:.2}",
+        stats.searches,
+        stats.harmonic_mean_teps / 1e6,
+        stats.quantile(0.0) / 1e6,
+        stats.median() / 1e6,
+        stats.quantile(1.0) / 1e6,
+    );
+}
+
+fn cmd_components(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let threads: usize = get(opts, "threads", 1usize);
+    let c = connected_components(&graph, threads, 4_096);
+    println!("{} components; largest {} vertices", c.count(), c.largest());
+    for (root, size) in c.sizes.iter().take(5) {
+        println!("  root {root}: {size}");
+    }
+}
+
+fn cmd_stcon(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let s: u32 = get(opts, "source", 0u32);
+    let t: u32 = get(opts, "target", 0u32);
+    match st_connectivity(&graph, s, t) {
+        StConnectivity::Connected { path } => {
+            println!("connected: {} hops", path.len() - 1);
+            if path.len() <= 20 {
+                println!("  path: {path:?}");
+            }
+        }
+        StConnectivity::Disconnected { explored } => {
+            println!("disconnected (explored {explored} vertices)");
+        }
+    }
+}
+
+fn cmd_model(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let machine = get(opts, "machine", "ex".to_string());
+    let model = match machine.as_str() {
+        "ep" => MachineModel::nehalem_ep(),
+        "ex" => MachineModel::nehalem_ex(),
+        other => usage(&format!("unknown --machine {other:?} (ep|ex)")),
+    };
+    let threads: usize = get(opts, "threads", model.spec.total_threads());
+    let sockets = model.spec.sockets_used(threads);
+    let algorithm = if sockets > 1 {
+        Algorithm::MultiSocket { sockets }
+    } else {
+        Algorithm::SingleSocket
+    };
+    let result = BfsRunner::new(&graph)
+        .algorithm(algorithm)
+        .threads(threads)
+        .mode(ExecMode::model(model.clone()))
+        .run(get(opts, "root", 0u32));
+    println!(
+        "{} @ {} threads ({} sockets): predicted {:.3} ms, {:.1} ME/s",
+        model.spec.name,
+        threads,
+        sockets,
+        result.stats.seconds * 1e3,
+        result.stats.me_per_s()
+    );
+}
+
+fn cmd_calibrate(opts: &HashMap<String, String>) {
+    let effort = if opts.contains_key("thorough") {
+        CalibrationEffort::Thorough
+    } else {
+        CalibrationEffort::Quick
+    };
+    println!("calibrating this host ({effort:?}) ...");
+    let report = calibrate_host(effort);
+    for (bytes, ns) in &report.latency_points {
+        println!("  {:>10} B working set: {:>8.1} ns/dependent read", bytes, ns);
+    }
+    println!("  pipelining gain (batch 16 vs 1): {:.1}x", report.pipelining_gain);
+    println!("  fetch_add: {:.1} ns", report.atomic_ns);
+    println!(
+        "fitted params: L1 {:.1} / L2 {:.1} / L3 {:.1} / mem {:.1} ns, efficiency {:.2}",
+        report.params.lat_l1_ns,
+        report.params.lat_l2_ns,
+        report.params.lat_l3_ns,
+        report.params.lat_mem_ns,
+        report.params.pipeline_efficiency
+    );
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: generate → search → validate, across every
+//! algorithm, generator family, and thread count.
+
+use multicore_bfs::core::runner::{Algorithm, BfsRunner};
+use multicore_bfs::gen::grid::{GridBuilder, Stencil};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::csr::{CsrGraph, UNVISITED};
+use multicore_bfs::graph::validate::{sequential_levels, validate_bfs_tree};
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Sequential,
+        Algorithm::Simple,
+        Algorithm::SingleSocket,
+        Algorithm::MultiSocket { sockets: 2 },
+        Algorithm::MultiSocket { sockets: 4 },
+    ]
+}
+
+fn check_all(graph: &CsrGraph, root: u32, label: &str) {
+    let reference = sequential_levels(graph, root);
+    let expected_visited = reference.iter().filter(|&&l| l != u32::MAX).count();
+    for algo in all_algorithms() {
+        for threads in [1usize, 2, 4, 8] {
+            let r = BfsRunner::new(graph).algorithm(algo).threads(threads).run(root);
+            let info = validate_bfs_tree(graph, root, &r.parents)
+                .unwrap_or_else(|e| panic!("{label} {algo:?} x{threads}: {e}"));
+            assert_eq!(
+                info.visited, expected_visited,
+                "{label} {algo:?} x{threads}: wrong reachable set"
+            );
+            assert_eq!(r.stats.vertices_visited as usize, expected_visited);
+        }
+    }
+}
+
+#[test]
+fn uniform_graph_all_algorithms() {
+    let g = UniformBuilder::new(3_000, 6).seed(1).build();
+    check_all(&g, 0, "uniform");
+}
+
+#[test]
+fn rmat_graph_all_algorithms() {
+    let g = RmatBuilder::new(11, 8).seed(2).build();
+    check_all(&g, 5, "rmat");
+}
+
+#[test]
+fn ssca2_graph_all_algorithms() {
+    let g = Ssca2Builder::new(2_000).max_clique_size(12).seed(3).build();
+    check_all(&g, 0, "ssca2");
+}
+
+#[test]
+fn grid_graph_all_algorithms() {
+    // High diameter: dozens of levels, stresses per-level overheads and
+    // the empty-frontier sockets of the partitioned algorithm.
+    let g = GridBuilder::new(40, Stencil::Four).build();
+    check_all(&g, 0, "grid");
+}
+
+#[test]
+fn path_graph_extreme_diameter() {
+    // 1000-level BFS: the worst case for level-synchronous designs.
+    let edges: Vec<_> = (0..999u32).map(|i| (i, i + 1)).collect();
+    let g = CsrGraph::from_edges_symmetric(1_000, &edges);
+    check_all(&g, 0, "path");
+}
+
+#[test]
+fn star_graph_hub_contention() {
+    // Every thread fights over the hub's neighbours in level 1.
+    let edges: Vec<_> = (1..2_000u32).map(|i| (0, i)).collect();
+    let g = CsrGraph::from_edges_symmetric(2_000, &edges);
+    check_all(&g, 0, "star");
+}
+
+#[test]
+fn disconnected_islands() {
+    // Many small components; only the root's island may be visited.
+    let mut edges = Vec::new();
+    for island in 0..50u32 {
+        let base = island * 20;
+        for i in 0..19 {
+            edges.push((base + i, base + i + 1));
+        }
+    }
+    let g = CsrGraph::from_edges_symmetric(1_000, &edges);
+    for algo in all_algorithms() {
+        let r = BfsRunner::new(&g).algorithm(algo).threads(4).run(100);
+        assert_eq!(r.stats.vertices_visited, 20, "{algo:?}");
+        assert_eq!(r.parents[0], UNVISITED);
+        assert_eq!(r.parents[999], UNVISITED);
+        validate_bfs_tree(&g, 100, &r.parents).unwrap();
+    }
+}
+
+#[test]
+fn self_loops_and_multi_edges_tolerated() {
+    let g = CsrGraph::from_edges_symmetric(
+        6,
+        &[(0, 0), (0, 1), (0, 1), (1, 2), (2, 2), (2, 3), (3, 0), (4, 5)],
+    );
+    check_all(&g, 0, "multi");
+}
+
+#[test]
+fn every_root_gives_valid_tree() {
+    let g = RmatBuilder::new(8, 4).seed(9).build();
+    for root in (0..256u32).step_by(37) {
+        let r = BfsRunner::new(&g)
+            .algorithm(Algorithm::MultiSocket { sockets: 2 })
+            .threads(4)
+            .run(root);
+        validate_bfs_tree(&g, root, &r.parents).unwrap_or_else(|e| panic!("root {root}: {e}"));
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let g = UniformBuilder::new(2_000, 8).seed(4).build();
+    let r = BfsRunner::new(&g)
+        .algorithm(Algorithm::MultiSocket { sockets: 2 })
+        .threads(4)
+        .run(0);
+    let t = &r.stats.totals;
+    // Every claimed vertex got exactly one parent write and one queue push.
+    assert_eq!(t.parent_writes, r.stats.vertices_visited - 1);
+    assert_eq!(t.queue_pushes, t.parent_writes);
+    // Edges scanned equals the degree sum of the visited set.
+    assert_eq!(t.edges_scanned, r.stats.edges_traversed);
+    // Every scanned edge probed a visited structure exactly once, either
+    // locally or after being drained from a channel.
+    assert_eq!(t.bitmap_reads, t.edges_scanned);
+    // Channel conservation: drained = sent.
+    assert_eq!(t.channel_items, t.channel_drained);
+}
