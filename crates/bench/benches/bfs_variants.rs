@@ -2,6 +2,7 @@
 //! native companion to the model-driven Fig. 5.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcbfs_core::algo::hybrid::{bfs_hybrid, HybridOpts};
 use mcbfs_core::algo::multi_socket::{bfs_multi_socket, MultiSocketOpts};
 use mcbfs_core::algo::rayon_baseline::bfs_rayon;
 use mcbfs_core::algo::sequential::bfs_sequential;
@@ -40,6 +41,9 @@ fn bench_algorithms(c: &mut Criterion) {
             )
         });
     });
+    g.bench_function("hybrid_dirop_x2", |b| {
+        b.iter(|| std::hint::black_box(bfs_hybrid(&graph, 0, 2, HybridOpts::default()).visited));
+    });
     g.bench_function("rayon_baseline", |b| {
         b.iter(|| std::hint::black_box(bfs_rayon(&graph, 0).visited));
     });
@@ -55,10 +59,38 @@ fn bench_ablations(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(edges));
     for (name, opts) in [
-        ("bitmap+tts", SingleSocketOpts { use_bitmap: true, test_then_set: true, software_pipeline: false }),
-        ("bitmap_only", SingleSocketOpts { use_bitmap: true, test_then_set: false, software_pipeline: false }),
-        ("no_bitmap+tts", SingleSocketOpts { use_bitmap: false, test_then_set: true, software_pipeline: false }),
-        ("neither", SingleSocketOpts { use_bitmap: false, test_then_set: false, software_pipeline: false }),
+        (
+            "bitmap+tts",
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: true,
+                software_pipeline: false,
+            },
+        ),
+        (
+            "bitmap_only",
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: false,
+                software_pipeline: false,
+            },
+        ),
+        (
+            "no_bitmap+tts",
+            SingleSocketOpts {
+                use_bitmap: false,
+                test_then_set: true,
+                software_pipeline: false,
+            },
+        ),
+        (
+            "neither",
+            SingleSocketOpts {
+                use_bitmap: false,
+                test_then_set: false,
+                software_pipeline: false,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(bfs_single_socket(&graph, 0, 2, opts).visited));

@@ -14,7 +14,9 @@ fn bench_generators(c: &mut Criterion) {
     g.bench_function("uniform_edges", |b| {
         b.iter(|| {
             std::hint::black_box(
-                UniformBuilder::new(1 << SCALE, DEGREE).seed(1).build_edges(),
+                UniformBuilder::new(1 << SCALE, DEGREE)
+                    .seed(1)
+                    .build_edges(),
             )
         });
     });
@@ -25,9 +27,7 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(Ssca2Builder::new(1 << SCALE).seed(1).build_edges()));
     });
     g.bench_function("grid8_edges", |b| {
-        b.iter(|| {
-            std::hint::black_box(GridBuilder::new(128, Stencil::Eight).build_edges())
-        });
+        b.iter(|| std::hint::black_box(GridBuilder::new(128, Stencil::Eight).build_edges()));
     });
     g.finish();
 }
@@ -38,9 +38,7 @@ fn bench_csr_assembly(c: &mut Criterion) {
     let edges = UniformBuilder::new(1 << 14, 8).seed(2).build_edges();
     g.throughput(Throughput::Elements(edges.len() as u64));
     g.bench_function("sequential_build", |b| {
-        b.iter(|| {
-            std::hint::black_box(mcbfs_graph::csr::CsrGraph::from_edges(1 << 14, &edges))
-        });
+        b.iter(|| std::hint::black_box(mcbfs_graph::csr::CsrGraph::from_edges(1 << 14, &edges)));
     });
     g.bench_function("parallel_build", |b| {
         b.iter(|| {

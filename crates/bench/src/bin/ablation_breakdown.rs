@@ -20,12 +20,24 @@ fn main() {
     let sockets = sockets_for_threads(&model.spec, threads);
 
     let variants: Vec<(&str, VariantConfig)> = vec![
-        ("Alg1", VariantConfig { sockets, ..VariantConfig::algorithm1() }),
-        ("Alg2-shared", VariantConfig::algorithm2_multisocket(sockets)),
+        (
+            "Alg1",
+            VariantConfig {
+                sockets,
+                ..VariantConfig::algorithm1()
+            },
+        ),
+        (
+            "Alg2-shared",
+            VariantConfig::algorithm2_multisocket(sockets),
+        ),
         ("Alg3", VariantConfig::algorithm3(sockets)),
         (
             "Alg3-unbatched",
-            VariantConfig { batch: 1, ..VariantConfig::algorithm3(sockets) },
+            VariantConfig {
+                batch: 1,
+                ..VariantConfig::algorithm3(sockets)
+            },
         ),
     ];
 

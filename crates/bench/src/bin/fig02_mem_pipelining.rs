@@ -35,7 +35,13 @@ fn main() {
         for &ws in &working_sets {
             for &b in &batches {
                 let rate = model.random_read_rate(ws, b);
-                report.push("fig02", &format!("model batch={b}"), ws as f64, rate / 1e6, "Mreads/s");
+                report.push(
+                    "fig02",
+                    &format!("model batch={b}"),
+                    ws as f64,
+                    rate / 1e6,
+                    "Mreads/s",
+                );
             }
         }
     }
@@ -48,7 +54,8 @@ fn main() {
             }
             for &b in &batches {
                 // Fewer reads for huge sets so the sweep stays quick.
-                let reads = (20_000_000 / (b as u64 * (ws / 4096).max(1)).max(1)).clamp(20_000, 2_000_000);
+                let reads =
+                    (20_000_000 / (b as u64 * (ws / 4096).max(1)).max(1)).clamp(20_000, 2_000_000);
                 let r = random_read_benchmark(ws as usize, b, reads as usize);
                 report.push(
                     "fig02",

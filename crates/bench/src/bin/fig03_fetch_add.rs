@@ -23,13 +23,25 @@ fn main() {
         let model = MachineModel::nehalem_ep();
         for &t in &threads {
             let rate = model.fetch_add_rate(t);
-            report.push("fig03", "model (Nehalem EP)", t as f64, rate / 1e6, "Mops/s");
+            report.push(
+                "fig03",
+                "model (Nehalem EP)",
+                t as f64,
+                rate / 1e6,
+                "Mops/s",
+            );
         }
     }
     if args.mode.wants_native() {
         for &t in &threads {
             let r = fetch_add_benchmark(t, 4 << 20, 2_000_000 / t.max(1));
-            report.push("fig03", "native (this host)", t as f64, r.ops_per_second / 1e6, "Mops/s");
+            report.push(
+                "fig03",
+                "native (this host)",
+                t as f64,
+                r.ops_per_second / 1e6,
+                "Mops/s",
+            );
         }
     }
     report.finish(&args.out);
@@ -46,7 +58,11 @@ fn main() {
         "# socket-boundary check: rate(5)={:.1}M < rate(4)={:.1}M ({}), rate(8)/rate(3)={:.2}",
         r5 / 1e6,
         r4 / 1e6,
-        if r5 < r4 { "drop reproduced" } else { "NOT reproduced" },
+        if r5 < r4 {
+            "drop reproduced"
+        } else {
+            "NOT reproduced"
+        },
         r8 / r3
     );
 }

@@ -25,8 +25,20 @@ fn main() {
         "level",
     );
     for (level, (reads, atomics)) in run.profile.bitmap_vs_atomics_series().iter().enumerate() {
-        report.push("fig04", "bitmap accesses", level as f64, *reads as f64, "ops");
-        report.push("fig04", "atomic operations", level as f64, *atomics as f64, "ops");
+        report.push(
+            "fig04",
+            "bitmap accesses",
+            level as f64,
+            *reads as f64,
+            "ops",
+        );
+        report.push(
+            "fig04",
+            "atomic operations",
+            level as f64,
+            *atomics as f64,
+            "ops",
+        );
     }
 
     // Contrast: the same run without the check issues one atomic per probe.
@@ -41,7 +53,13 @@ fn main() {
         },
     );
     for (level, (_, atomics)) in naive.profile.bitmap_vs_atomics_series().iter().enumerate() {
-        report.push("fig04", "atomics w/o check", level as f64, *atomics as f64, "ops");
+        report.push(
+            "fig04",
+            "atomics w/o check",
+            level as f64,
+            *atomics as f64,
+            "ops",
+        );
     }
     report.finish(&args.out);
 
@@ -52,6 +70,6 @@ fn main() {
         t.bitmap_reads,
         t.atomic_ops,
         tn.atomic_ops,
-        if t.atomic_ops > 0 { tn.atomic_ops / t.atomic_ops } else { 0 }
+        tn.atomic_ops.checked_div(t.atomic_ops).unwrap_or(0)
     );
 }

@@ -23,13 +23,13 @@ fn main() {
     eprintln!("# building {} (scaled /{}) ...", case.label, case.factor);
     let graph = case.build();
     let model = MachineModel::nehalem_ep();
-    let threads = args
-        .threads
-        .clone()
-        .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+    let threads = args.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
 
     let mut report = Report::new(
-        &format!("Fig. 5: optimization impact, {} class, Nehalem EP model", case.label),
+        &format!(
+            "Fig. 5: optimization impact, {} class, Nehalem EP model",
+            case.label
+        ),
         "threads",
     );
     for &t in &threads {
@@ -59,7 +59,10 @@ fn main() {
                 "+test-then-set (Alg2)",
                 VariantConfig::algorithm2_multisocket(sockets),
             ),
-            ("+channels+batching (Alg3)", VariantConfig::algorithm3(sockets)),
+            (
+                "+channels+batching (Alg3)",
+                VariantConfig::algorithm3(sockets),
+            ),
             (
                 "Alg3 unbatched",
                 VariantConfig {

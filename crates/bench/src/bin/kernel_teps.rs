@@ -16,7 +16,12 @@ use mcbfs_machine::model::MachineModel;
 fn main() {
     let args = Args::parse("kernel_teps");
     let case = &rate_cases(Family::Rmat, args.scale)[0];
-    eprintln!("# building {} {} (scaled /{}) ...", case.family.name(), case.label, case.factor);
+    eprintln!(
+        "# building {} {} (scaled /{}) ...",
+        case.family.name(),
+        case.label,
+        case.factor
+    );
     let graph = case.build();
     let searches = 16usize;
     let mut report = Report::new(
@@ -26,7 +31,12 @@ fn main() {
 
     if args.mode.wants_model() {
         for (name, model, threads, sockets) in [
-            ("EP model 16thr", MachineModel::nehalem_ep(), 16usize, 2usize),
+            (
+                "EP model 16thr",
+                MachineModel::nehalem_ep(),
+                16usize,
+                2usize,
+            ),
             ("EX model 64thr", MachineModel::nehalem_ex(), 64, 4),
         ] {
             let stats = run_kernel(
@@ -49,22 +59,20 @@ fn main() {
     }
     if args.mode.wants_native() {
         let threads = args.threads.as_ref().map(|t| t[0]).unwrap_or(2);
-        let stats = run_kernel(
-            &graph,
-            Algorithm::SingleSocket,
-            threads,
-            ExecMode::Native,
-            searches,
-            99,
-        );
-        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            report.push("kernel", "native (this host)", q * 100.0, stats.quantile(q) / 1e6, "MTEPS");
+        for (name, algorithm) in [
+            ("native alg2 (this host)", Algorithm::SingleSocket),
+            ("native hybrid (this host)", Algorithm::hybrid()),
+        ] {
+            let stats = run_kernel(&graph, algorithm, threads, ExecMode::Native, searches, 99);
+            for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                report.push("kernel", name, q * 100.0, stats.quantile(q) / 1e6, "MTEPS");
+            }
+            println!(
+                "# {name}: harmonic mean {:.1} MTEPS over {} searches",
+                stats.harmonic_mean_teps / 1e6,
+                stats.searches
+            );
         }
-        println!(
-            "# native: harmonic mean {:.1} MTEPS over {} searches",
-            stats.harmonic_mean_teps / 1e6,
-            stats.searches
-        );
     }
     report.finish(&args.out);
 }

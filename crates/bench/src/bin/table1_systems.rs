@@ -30,7 +30,9 @@ fn main() {
     let host = MachineSpec::custom(
         "this host",
         1,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         1,
     );
     println!("{}", host.table_row());

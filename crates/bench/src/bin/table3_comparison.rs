@@ -41,7 +41,10 @@ fn main() {
     println!("\n# Headline claims: our modelled Nehalem EX ({threads} threads) vs published");
     let mut report = Report::new("headline claim check", "claim#");
     let claims = headline_claims();
-    for (i, ((id, case), claim)) in headline_cases(args.scale).into_iter().zip(&claims).enumerate()
+    for (i, ((id, case), claim)) in headline_cases(args.scale)
+        .into_iter()
+        .zip(&claims)
+        .enumerate()
     {
         assert_eq!(id, claim.id, "claim order must match workload order");
         eprintln!("# building {} (scaled /{}) ...", case.label, case.factor);
@@ -61,7 +64,13 @@ fn main() {
             claim.statement, claim.comparator_me_per_s, claim.claimed_ratio
         );
         report.push("table3", "ours ME/s", i as f64, ours, "ME/s");
-        report.push("table3", "published ME/s", i as f64, claim.comparator_me_per_s, "ME/s");
+        report.push(
+            "table3",
+            "published ME/s",
+            i as f64,
+            claim.comparator_me_per_s,
+            "ME/s",
+        );
         report.push("table3", "ratio", i as f64, ratio, "x");
         report.push("table3", "paper ratio", i as f64, claim.claimed_ratio, "x");
     }

@@ -102,7 +102,8 @@ impl Args {
                 }
                 "--out" => {
                     out.out = Some(PathBuf::from(
-                        it.next().unwrap_or_else(|| usage(experiment, "missing --out path")),
+                        it.next()
+                            .unwrap_or_else(|| usage(experiment, "missing --out path")),
                     ))
                 }
                 "--no-json" => out.out = None,
@@ -145,7 +146,14 @@ mod tests {
     #[test]
     fn full_flags() {
         let a = parse(&[
-            "--scale", "paper", "--mode", "both", "--threads", "1,2,4", "--out", "/tmp/x.json",
+            "--scale",
+            "paper",
+            "--mode",
+            "both",
+            "--threads",
+            "1,2,4",
+            "--out",
+            "/tmp/x.json",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.mode, Mode::Both);

@@ -65,7 +65,12 @@ pub fn run_rate_and_speedup(
     );
     for case in rate_cases(family, args.scale) {
         check_fits(&case);
-        eprintln!("# building {} {} (scaled /{}) ...", family.name(), case.label, case.factor);
+        eprintln!(
+            "# building {} {} (scaled /{}) ...",
+            family.name(),
+            case.label,
+            case.factor
+        );
         let graph = case.build();
         if args.mode.wants_model() {
             let mut base = 0.0f64;
@@ -143,7 +148,13 @@ pub fn run_size_sensitivity(
                 best_config(model, threads),
                 model,
             );
-            report.push(experiment, &case.label, case.paper_n as f64, rate / 1e6, "ME/s");
+            report.push(
+                experiment,
+                &case.label,
+                case.paper_n as f64,
+                rate / 1e6,
+                "ME/s",
+            );
         }
         if args.mode.wants_native() && matches!(args.mode, Mode::Native | Mode::Both) {
             let rate = native_rate(&graph, 8, best_algorithm(model, 8), 2);

@@ -39,6 +39,7 @@ pub fn scale_profile(mut profile: WorkProfile, factor: u64) -> WorkProfile {
             t.channel_items *= factor;
             t.channel_batches *= factor;
             t.channel_drained *= factor;
+            t.edges_skipped *= factor;
         }
     }
     profile.num_vertices *= factor;
@@ -72,7 +73,11 @@ pub fn model_rate(
     // scaled n times factor can differ by rounding for non-power-of-two
     // paper sizes).
     profile.num_vertices = paper_n;
-    profile.visited_bytes = if config.use_bitmap { paper_n.div_ceil(8) } else { paper_n * 4 };
+    profile.visited_bytes = if config.use_bitmap {
+        paper_n.div_ceil(8)
+    } else {
+        paper_n * 4
+    };
     model.predict(&profile).edges_per_second
 }
 

@@ -177,7 +177,10 @@ impl Report {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                format!("\"{dat_name}\" using 1:{} with linespoints title \"{s}\"", i + 2)
+                format!(
+                    "\"{dat_name}\" using 1:{} with linespoints title \"{s}\"",
+                    i + 2
+                )
             })
             .collect();
         gp.push_str(&plots.join(", \\\n     "));
@@ -276,7 +279,10 @@ mod tests {
         assert!(!script.contains("logscale"), "small x range stays linear");
         let dat = std::fs::read_to_string(dir.join("fig.dat")).unwrap();
         assert!(dat.contains("\"alpha\"\t\"beta\""));
-        assert!(dat.contains("2\t20\t?"), "missing beta point becomes ?: {dat}");
+        assert!(
+            dat.contains("2\t20\t?"),
+            "missing beta point becomes ?: {dat}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -288,7 +294,9 @@ mod tests {
         let dir = std::env::temp_dir().join("mcbfs_gnuplot_log_test");
         let gp = dir.join("fig.gp");
         r.write_gnuplot(&gp).unwrap();
-        assert!(std::fs::read_to_string(&gp).unwrap().contains("set logscale x"));
+        assert!(std::fs::read_to_string(&gp)
+            .unwrap()
+            .contains("set logscale x"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

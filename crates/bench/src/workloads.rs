@@ -52,12 +52,17 @@ impl BfsCase {
     /// Builds the (scaled) graph.
     pub fn build(&self) -> CsrGraph {
         match self.family {
-            Family::Uniform => UniformBuilder::new(self.n, self.degree).seed(self.seed).build(),
+            Family::Uniform => UniformBuilder::new(self.n, self.degree)
+                .seed(self.seed)
+                .build(),
             Family::Rmat => {
                 let scale = (self.n as f64).log2().round() as u32;
                 // Graph500-style relabeling: keeps block partitions
                 // balanced, as any serious R-MAT benchmarking setup does.
-                RmatBuilder::new(scale, self.degree).seed(self.seed).permute(true).build()
+                RmatBuilder::new(scale, self.degree)
+                    .seed(self.seed)
+                    .permute(true)
+                    .build()
             }
         }
     }
@@ -297,7 +302,9 @@ mod tests {
     #[test]
     fn paper_scale_factor_is_one() {
         let cases = rate_cases(Family::Uniform, Scale::Paper);
-        assert!(cases.iter().all(|c| c.factor == 1 && c.n as u64 == c.paper_n));
+        assert!(cases
+            .iter()
+            .all(|c| c.factor == 1 && c.n as u64 == c.paper_n));
     }
 
     #[test]

@@ -64,8 +64,9 @@ pub fn bfs_distributed(graph: &CsrGraph, root: VertexId, opts: DistributedOpts) 
     let batch = opts.batch.max(1);
     let partition = VertexPartition::new(n, ranks);
     let links = ChannelMatrix::<(VertexId, VertexId)>::new(ranks, opts.channel_capacity);
-    let overflows: Vec<TicketLock<Vec<(VertexId, VertexId)>>> =
-        (0..ranks * ranks).map(|_| TicketLock::new(Vec::new())).collect();
+    let overflows: Vec<TicketLock<Vec<(VertexId, VertexId)>>> = (0..ranks * ranks)
+        .map(|_| TicketLock::new(Vec::new()))
+        .collect();
     let barrier = SpinBarrier::new(ranks);
     type Gathered = Vec<(usize, Vec<VertexId>, u64, u64)>;
     // Termination allreduce: ranks with a non-empty next frontier bump the
@@ -145,7 +146,9 @@ pub fn bfs_distributed(graph: &CsrGraph, root: VertexId, opts: DistributedOpts) 
                     let buf = &mut send_bufs[owner];
                     let sent = links.channel(rank, owner).try_send_batch(buf);
                     if sent < buf.len() {
-                        overflows[rank * ranks + owner].lock().extend_from_slice(&buf[sent..]);
+                        overflows[rank * ranks + owner]
+                            .lock()
+                            .extend_from_slice(&buf[sent..]);
                     }
                     buf.clear();
                 }
@@ -217,7 +220,9 @@ pub fn bfs_distributed(graph: &CsrGraph, root: VertexId, opts: DistributedOpts) 
             }
         }
         recorder.deposit(rank, series);
-        gathered.lock().push((rank, state.parents, local_edges, local_visited));
+        gathered
+            .lock()
+            .push((rank, state.parents, local_edges, local_visited));
     });
     let seconds = start.elapsed().as_secs_f64();
 
@@ -253,9 +258,15 @@ mod tests {
         let g = UniformBuilder::new(2_000, 6).seed(21).build();
         let seq = crate::algo::sequential::bfs_sequential(&g, 3);
         for ranks in [1usize, 2, 4, 7] {
-            let run = bfs_distributed(&g, 3, DistributedOpts { ranks, ..Default::default() });
-            validate_bfs_tree(&g, 3, &run.parents)
-                .unwrap_or_else(|e| panic!("ranks {ranks}: {e}"));
+            let run = bfs_distributed(
+                &g,
+                3,
+                DistributedOpts {
+                    ranks,
+                    ..Default::default()
+                },
+            );
+            validate_bfs_tree(&g, 3, &run.parents).unwrap_or_else(|e| panic!("ranks {ranks}: {e}"));
             assert_eq!(run.visited, seq.visited, "ranks {ranks}");
             assert_eq!(
                 run.profile.edges_traversed, seq.profile.edges_traversed,
@@ -280,7 +291,14 @@ mod tests {
     #[test]
     fn distributed_disconnected_graph() {
         let g = mcbfs_graph::csr::CsrGraph::from_edges_symmetric(100, &[(0, 1), (98, 99)]);
-        let run = bfs_distributed(&g, 99, DistributedOpts { ranks: 4, ..Default::default() });
+        let run = bfs_distributed(
+            &g,
+            99,
+            DistributedOpts {
+                ranks: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(run.visited, 2);
         validate_bfs_tree(&g, 99, &run.parents).unwrap();
     }
@@ -288,7 +306,14 @@ mod tests {
     #[test]
     fn distributed_root_on_last_rank() {
         let g = UniformBuilder::new(1_001, 4).seed(23).build();
-        let run = bfs_distributed(&g, 1_000, DistributedOpts { ranks: 3, ..Default::default() });
+        let run = bfs_distributed(
+            &g,
+            1_000,
+            DistributedOpts {
+                ranks: 3,
+                ..Default::default()
+            },
+        );
         validate_bfs_tree(&g, 1_000, &run.parents).unwrap();
     }
 

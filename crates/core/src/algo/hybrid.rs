@@ -1,0 +1,451 @@
+//! Direction-optimizing hybrid BFS (top-down / bottom-up switching).
+//!
+//! The paper's Algorithms 1–3 are strictly top-down: every level scans all
+//! edges out of the frontier, even in the dense middle levels where >90% of
+//! probed neighbours are already visited (the Fig. 4 phenomenon). The
+//! canonical fix from the follow-up literature is to run those levels
+//! *bottom-up*: sweep the unvisited vertices and search each one's
+//! adjacency for a frontier member, stopping at the first hit — on
+//! low-diameter graphs the early exit skips the bulk of the edge
+//! examinations.
+//!
+//! This module combines both:
+//!
+//! * **top-down levels** reuse Algorithm 2's machinery — the chunked
+//!   [`SharedQueue`] frontier, the visited [`AtomicBitmap`] with
+//!   test-then-set claims;
+//! * **bottom-up levels** sweep the visited bitmap word by word (64
+//!   not-yet-visited flags per load), probe the *dense* frontier bitmap of
+//!   [`Frontier`], and early-exit each adjacency scan — skipped entries are
+//!   counted in `edges_skipped` so the saving is visible in profiles;
+//! * the **switch heuristic** follows Beamer et al.: go bottom-up when the
+//!   frontier's out-edge count exceeds `1/alpha` of the edges still
+//!   incident to unvisited vertices, return top-down when the frontier
+//!   shrinks below `n / beta` vertices.
+//!
+//! Bottom-up correctness requires a symmetric (undirected) graph — `u`
+//! finds its parent by scanning its own adjacency, which must mirror the
+//! parent's. Every generator in this workspace emits symmetric graphs.
+
+use crate::algo::parents::AtomicParents;
+use crate::algo::{NativeRun, DEQUEUE_CHUNK, ENQUEUE_BATCH};
+use crate::instrument::Recorder;
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use crossbeam::utils::CachePadded;
+use mcbfs_graph::bitmap::AtomicBitmap;
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_graph::frontier::{chunk_of, Frontier};
+use mcbfs_machine::profile::{Direction, ThreadCounts};
+use mcbfs_sync::barrier::SpinBarrier;
+use mcbfs_sync::pool::scoped_run;
+use mcbfs_sync::ticket::TicketLock;
+use std::time::Instant;
+
+/// Direction policy: the heuristic plus three forcing modes for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForcedDirection {
+    /// Decide per level with the alpha/beta heuristic (the real design).
+    #[default]
+    Auto,
+    /// Every level top-down — degenerates to Algorithm 2's traversal
+    /// pattern (scalar claims, no software pipelining).
+    TopDown,
+    /// Every level bottom-up — pays the full unvisited sweep even on
+    /// sparse levels; the upper bound on what switching must beat.
+    BottomUp,
+    /// Alternate directions every level — exercises both conversion paths
+    /// regardless of graph shape (test/ablation mode).
+    Alternate,
+}
+
+/// Tunables of the hybrid traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridOpts {
+    /// Switch top-down → bottom-up when
+    /// `frontier_edges > unexplored_edges / alpha`. Beamer's default 14.
+    pub alpha: f64,
+    /// Switch bottom-up → top-down when `frontier_vertices < n / beta`.
+    /// Beamer's default 24.
+    pub beta: f64,
+    /// Direction policy (heuristic or forced).
+    pub forced_direction: ForcedDirection,
+}
+
+impl Default for HybridOpts {
+    fn default() -> Self {
+        Self {
+            alpha: 14.0,
+            beta: 24.0,
+            forced_direction: ForcedDirection::Auto,
+        }
+    }
+}
+
+impl HybridOpts {
+    /// Heuristic opts with a forced/auto direction policy.
+    pub fn with_policy(policy: ForcedDirection) -> Self {
+        Self {
+            forced_direction: policy,
+            ..Self::default()
+        }
+    }
+}
+
+const TOP_DOWN: u8 = 0;
+const BOTTOM_UP: u8 = 1;
+
+fn dir_of(code: u8) -> Direction {
+    if code == BOTTOM_UP {
+        Direction::BottomUp
+    } else {
+        Direction::TopDown
+    }
+}
+
+/// Runs direction-optimizing BFS from `root` on `threads` worker threads.
+pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: HybridOpts) -> NativeRun {
+    let n = graph.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range 0..{n}");
+    let threads = threads.max(1);
+    let parents = AtomicParents::new(n);
+    parents.store(root, root);
+    let visited = AtomicBitmap::new(n);
+    visited.set_atomic(root as usize);
+
+    // Double-buffered frontiers, one pair per representation. Level L
+    // reads index L%2 and writes index (L+1)%2; the leader resets both
+    // index-L%2 frontiers once the level has consumed them, covering stale
+    // copies left behind by a representation conversion one level earlier.
+    let sparse: [Frontier; 2] = [Frontier::sparse(n), Frontier::sparse(n)];
+    let dense: [Frontier; 2] = [Frontier::dense(n), Frontier::dense(n)];
+
+    let initial_dir = match opts.forced_direction {
+        ForcedDirection::BottomUp => BOTTOM_UP,
+        _ => TOP_DOWN,
+    };
+    if initial_dir == TOP_DOWN {
+        sparse[0].as_queue().push(root);
+    } else {
+        dense[0].as_bitmap().set_atomic(root as usize);
+    }
+
+    let barrier = SpinBarrier::new(threads);
+    let done = AtomicBool::new(false);
+    let next_dir = AtomicU8::new(initial_dir);
+    // Directed edges still incident to unvisited vertices (Beamer's m_u).
+    let unexplored_edges = AtomicU64::new(graph.num_edges() as u64 - graph.degree(root) as u64);
+    // Per-thread discovery tallies for the heuristic, summed by the leader.
+    let found_count: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let found_edges: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let directions: TicketLock<Vec<Direction>> = TicketLock::new(Vec::new());
+    let recorder = Recorder::new(threads, 1, 2);
+    let edge_total: TicketLock<u64> = TicketLock::new(0);
+
+    let start = Instant::now();
+    scoped_run(threads, None, |tid| {
+        let mut series: Vec<ThreadCounts> = Vec::new();
+        let mut parity = 0usize;
+        let mut dir = initial_dir;
+        let mut local_edges = 0u64;
+        // Conversion work between levels is charged to the level it
+        // prepares, carried over in this accumulator.
+        let mut carry = ThreadCounts::default();
+        let mut buffer: Vec<VertexId> = Vec::with_capacity(ENQUEUE_BATCH);
+        loop {
+            let mut counts = core::mem::take(&mut carry);
+            let mut my_found = 0u64;
+            let mut my_found_edges = 0u64;
+            if dir == TOP_DOWN {
+                let cq = sparse[parity].as_queue();
+                let nq = sparse[1 - parity].as_queue();
+                while let Some(chunk) = cq.take_chunk(DEQUEUE_CHUNK) {
+                    counts.atomic_ops += 1; // chunk reservation fetch_add
+                    for &u in chunk {
+                        counts.vertices_scanned += 1;
+                        for &v in graph.neighbors(u) {
+                            counts.edges_scanned += 1;
+                            counts.bitmap_reads += 1;
+                            let outcome = visited.claim(v as usize);
+                            if outcome.used_atomic() {
+                                counts.atomic_ops += 1;
+                            }
+                            if outcome.claimed() {
+                                parents.store(v, u);
+                                counts.parent_writes += 1;
+                                counts.queue_pushes += 1;
+                                my_found += 1;
+                                my_found_edges += graph.degree(v) as u64;
+                                buffer.push(v);
+                                if buffer.len() == ENQUEUE_BATCH {
+                                    counts.atomic_ops += 1; // batch reservation
+                                    nq.push_batch(&buffer);
+                                    buffer.clear();
+                                }
+                            }
+                        }
+                    }
+                }
+                if !buffer.is_empty() {
+                    counts.atomic_ops += 1;
+                    nq.push_batch(&buffer);
+                    buffer.clear();
+                }
+            } else {
+                // Bottom-up sweep: this thread owns a contiguous range of
+                // visited-bitmap words, so claims within it are race-free
+                // plain stores — no lock-prefixed operations at all.
+                let cur = dense[parity].as_bitmap();
+                let nxt = dense[1 - parity].as_bitmap();
+                for wi in chunk_of(visited.num_words(), tid, threads) {
+                    let mut unvisited = !visited.word(wi) & visited.word_mask(wi);
+                    if unvisited == 0 {
+                        continue;
+                    }
+                    let mut claimed_mask = 0u64;
+                    while unvisited != 0 {
+                        let bit = unvisited.trailing_zeros() as usize;
+                        unvisited &= unvisited - 1;
+                        let u = (wi * 64 + bit) as VertexId;
+                        counts.vertices_scanned += 1;
+                        let neigh = graph.neighbors(u);
+                        for (i, &v) in neigh.iter().enumerate() {
+                            counts.edges_scanned += 1;
+                            counts.bitmap_reads += 1;
+                            if cur.test(v as usize) {
+                                parents.store(u, v);
+                                counts.parent_writes += 1;
+                                counts.queue_pushes += 1;
+                                counts.edges_skipped += (neigh.len() - 1 - i) as u64;
+                                claimed_mask |= 1u64 << bit;
+                                my_found += 1;
+                                my_found_edges += neigh.len() as u64;
+                                break;
+                            }
+                        }
+                    }
+                    if claimed_mask != 0 {
+                        visited.set_word(wi, visited.word(wi) | claimed_mask);
+                        nxt.set_word(wi, claimed_mask);
+                    }
+                }
+            }
+            found_count[tid].store(my_found, Ordering::Relaxed);
+            found_edges[tid].store(my_found_edges, Ordering::Relaxed);
+            local_edges += counts.edges_scanned;
+            series.push(counts);
+
+            if barrier.wait() {
+                // Leader: consume the tallies, update the heuristic state,
+                // pick the next direction, recycle the consumed containers.
+                let n_f: u64 = found_count.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                let m_f: u64 = found_edges.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                let m_u = unexplored_edges.load(Ordering::Relaxed).saturating_sub(m_f);
+                unexplored_edges.store(m_u, Ordering::Relaxed);
+                let decided = match opts.forced_direction {
+                    ForcedDirection::TopDown => TOP_DOWN,
+                    ForcedDirection::BottomUp => BOTTOM_UP,
+                    ForcedDirection::Alternate => 1 - dir,
+                    ForcedDirection::Auto => {
+                        if dir == TOP_DOWN && m_f as f64 > m_u as f64 / opts.alpha {
+                            BOTTOM_UP
+                        } else if dir == BOTTOM_UP && (n_f as f64) < n as f64 / opts.beta {
+                            TOP_DOWN
+                        } else {
+                            dir
+                        }
+                    }
+                };
+                next_dir.store(decided, Ordering::Relaxed);
+                done.store(n_f == 0, Ordering::Relaxed);
+                directions.lock().push(dir_of(dir));
+                sparse[parity].reset();
+                dense[parity].reset();
+            }
+            barrier.wait();
+            let decided = next_dir.load(Ordering::Relaxed);
+            if done.load(Ordering::Relaxed) {
+                break;
+            }
+            // The next frontier sits at index 1-parity in the
+            // representation `dir` built; convert when `decided` needs the
+            // other one. All threads compute the same predicate, so the
+            // extra barrier stays uniform.
+            if dir != decided {
+                if decided == BOTTOM_UP {
+                    let converted = sparse[1 - parity].densify_chunk(
+                        dense[1 - parity].as_bitmap(),
+                        tid,
+                        threads,
+                    );
+                    carry.atomic_ops += converted as u64; // fetch_or per vertex
+                } else {
+                    let converted = dense[1 - parity].sparsify_chunk(
+                        sparse[1 - parity].as_queue(),
+                        tid,
+                        threads,
+                    );
+                    carry.queue_pushes += converted as u64;
+                    carry.atomic_ops += 1; // batch reservation
+                }
+                barrier.wait();
+            }
+            parity = 1 - parity;
+            dir = decided;
+        }
+        *edge_total.lock() += local_edges;
+        recorder.deposit(tid, series);
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let edges_traversed = edge_total.into_inner();
+    let mut profile =
+        recorder.into_profile(n as u64, (n as u64).div_ceil(8), true, edges_traversed);
+    for (level, d) in profile.levels.iter_mut().zip(directions.into_inner()) {
+        level.direction = d;
+    }
+    let parents = parents.into_vec();
+    let visited = parents
+        .iter()
+        .filter(|&&p| p != mcbfs_graph::csr::UNVISITED)
+        .count() as u64;
+    NativeRun {
+        parents,
+        profile,
+        seconds,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::validate_bfs_tree;
+
+    fn policies() -> [ForcedDirection; 4] {
+        [
+            ForcedDirection::Auto,
+            ForcedDirection::TopDown,
+            ForcedDirection::BottomUp,
+            ForcedDirection::Alternate,
+        ]
+    }
+
+    #[test]
+    fn every_policy_produces_valid_trees() {
+        let g = RmatBuilder::new(10, 6).seed(21).build();
+        for policy in policies() {
+            for threads in [1, 2, 4] {
+                let run = bfs_hybrid(&g, 3, threads, HybridOpts::with_policy(policy));
+                validate_bfs_tree(&g, 3, &run.parents)
+                    .unwrap_or_else(|e| panic!("{policy:?} x{threads}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reachability() {
+        let g = UniformBuilder::new(2_000, 4).seed(8).build();
+        let seq = crate::algo::sequential::bfs_sequential(&g, 0);
+        for policy in policies() {
+            let run = bfs_hybrid(&g, 0, 4, HybridOpts::with_policy(policy));
+            assert_eq!(run.visited, seq.visited, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn auto_switches_bottom_up_and_cuts_edges_on_rmat() {
+        let g = RmatBuilder::new(12, 8).seed(5).build();
+        let hybrid = bfs_hybrid(&g, 0, 2, HybridOpts::default());
+        let topdown = bfs_single_socket(&g, 0, 2, SingleSocketOpts::default());
+        let dirs = hybrid.profile.direction_string();
+        assert!(
+            dirs.contains('B'),
+            "expected bottom-up levels, got {dirs:?}"
+        );
+        assert!(
+            hybrid.profile.edges_traversed * 2 <= topdown.profile.edges_traversed,
+            "hybrid {} vs top-down {} edges examined",
+            hybrid.profile.edges_traversed,
+            topdown.profile.edges_traversed
+        );
+        assert!(hybrid.profile.total().edges_skipped > 0);
+    }
+
+    #[test]
+    fn forced_top_down_matches_algorithm2_edge_counts() {
+        let g = UniformBuilder::new(4_096, 8).seed(13).build();
+        let forced = bfs_hybrid(&g, 0, 2, HybridOpts::with_policy(ForcedDirection::TopDown));
+        let alg2 = bfs_single_socket(&g, 0, 2, SingleSocketOpts::default());
+        assert_eq!(forced.profile.edges_traversed, alg2.profile.edges_traversed);
+        assert_eq!(
+            forced
+                .profile
+                .direction_string()
+                .chars()
+                .collect::<Vec<_>>(),
+            vec!['T'; forced.profile.num_levels()]
+        );
+        assert_eq!(forced.profile.total().edges_skipped, 0);
+    }
+
+    #[test]
+    fn bottom_up_uses_no_claim_atomics_in_sweep_levels() {
+        // Forced bottom-up from the root: every level's claims are plain
+        // word stores, so atomics only come from conversions (none here).
+        let g = UniformBuilder::new(1_024, 6).seed(3).build();
+        let run = bfs_hybrid(&g, 0, 4, HybridOpts::with_policy(ForcedDirection::BottomUp));
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        assert_eq!(run.profile.total().atomic_ops, 0);
+        assert!(run.profile.direction_string().chars().all(|c| c == 'B'));
+    }
+
+    #[test]
+    fn alternate_exercises_both_conversions() {
+        let g = UniformBuilder::new(2_048, 6).seed(9).build();
+        let run = bfs_hybrid(
+            &g,
+            0,
+            3,
+            HybridOpts::with_policy(ForcedDirection::Alternate),
+        );
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        let dirs = run.profile.direction_string();
+        assert!(dirs.starts_with("TB"), "got {dirs:?}");
+        assert!(
+            dirs.as_bytes().windows(2).all(|w| w[0] != w[1]),
+            "got {dirs:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = CsrGraph::from_edges_symmetric(100, &[(0, 1), (1, 2), (50, 51)]);
+        for policy in policies() {
+            let run = bfs_hybrid(&g, 0, 3, HybridOpts::with_policy(policy));
+            assert_eq!(run.visited, 3, "{policy:?}");
+            validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let run = bfs_hybrid(&g, 0, 2, HybridOpts::default());
+        assert_eq!(run.parents, vec![0]);
+        assert_eq!(run.visited, 1);
+    }
+
+    #[test]
+    fn star_graph_two_levels() {
+        let edges: Vec<_> = (1..64u32).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges_symmetric(64, &edges);
+        let run = bfs_hybrid(&g, 0, 4, HybridOpts::default());
+        validate_bfs_tree(&g, 0, &run.parents).unwrap();
+        assert_eq!(run.profile.num_levels(), 2);
+    }
+}

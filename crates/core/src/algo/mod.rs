@@ -6,6 +6,7 @@
 //! with atomics so that each vertex gets exactly one parent.
 
 pub mod distributed;
+pub mod hybrid;
 pub mod multi_socket;
 pub mod parents;
 pub mod rayon_baseline;

@@ -98,13 +98,18 @@ pub fn bfs_multi_socket(
     let root_socket = partition.socket_of(root);
     bitmaps[root_socket].set_atomic(partition.local_index(root));
     let queues: [Vec<SharedQueue<VertexId>>; 2] = [
-        (0..sockets).map(|s| SharedQueue::with_capacity(partition.len(s).max(1))).collect(),
-        (0..sockets).map(|s| SharedQueue::with_capacity(partition.len(s).max(1))).collect(),
+        (0..sockets)
+            .map(|s| SharedQueue::with_capacity(partition.len(s).max(1)))
+            .collect(),
+        (0..sockets)
+            .map(|s| SharedQueue::with_capacity(partition.len(s).max(1)))
+            .collect(),
     ];
     queues[0][root_socket].push(root);
     let links = ChannelMatrix::<Hop>::new(sockets, opts.channel_capacity);
-    let overflows: Vec<TicketLock<Vec<Hop>>> =
-        (0..sockets * sockets).map(|_| TicketLock::new(Vec::new())).collect();
+    let overflows: Vec<TicketLock<Vec<Hop>>> = (0..sockets * sockets)
+        .map(|_| TicketLock::new(Vec::new()))
+        .collect();
     let barrier = SpinBarrier::new(threads);
     let done = AtomicBool::new(false);
     let recorder = Recorder::new(threads, sockets, 3);
@@ -118,7 +123,8 @@ pub fn bfs_multi_socket(
         let mut parity = 0usize;
         let mut local_edges = 0u64;
         let mut local_buf: Vec<VertexId> = Vec::with_capacity(ENQUEUE_BATCH);
-        let mut remote_bufs: Vec<Vec<Hop>> = (0..sockets).map(|_| Vec::with_capacity(batch)).collect();
+        let mut remote_bufs: Vec<Vec<Hop>> =
+            (0..sockets).map(|_| Vec::with_capacity(batch)).collect();
         let mut scratch: Vec<Hop> = Vec::with_capacity(1024);
 
         // Claims `v` (a vertex owned by socket `s`) for `parent`, updating
@@ -239,10 +245,12 @@ pub fn bfs_multi_socket(
     });
     let seconds = start.elapsed().as_secs_f64();
     let edges_traversed = edge_total.into_inner();
-    let profile =
-        recorder.into_profile(n as u64, (n as u64).div_ceil(8), true, edges_traversed);
+    let profile = recorder.into_profile(n as u64, (n as u64).div_ceil(8), true, edges_traversed);
     let parents = parents.into_vec();
-    let visited = parents.iter().filter(|&&p| p != mcbfs_graph::csr::UNVISITED).count() as u64;
+    let visited = parents
+        .iter()
+        .filter(|&&p| p != mcbfs_graph::csr::UNVISITED)
+        .count() as u64;
     NativeRun {
         parents,
         profile,
@@ -263,7 +271,9 @@ fn flush_remote(
 ) {
     let sent = links.channel(from, to).try_send_batch(buf);
     if sent < buf.len() {
-        overflows[from * sockets + to].lock().extend_from_slice(&buf[sent..]);
+        overflows[from * sockets + to]
+            .lock()
+            .extend_from_slice(&buf[sent..]);
     }
     buf.clear();
 }
@@ -321,7 +331,10 @@ mod tests {
         let g = UniformBuilder::new(4_096, 8).seed(9).build();
         let batched = bfs_multi_socket(&g, 0, 4, MultiSocketOpts::with_sockets(2));
         let t = batched.profile.total();
-        assert!(t.channel_items > 0, "partitioned uniform graph must cross sockets");
+        assert!(
+            t.channel_items > 0,
+            "partitioned uniform graph must cross sockets"
+        );
         assert!(
             t.channel_batches * 8 < t.channel_items,
             "batches {} vs items {}",

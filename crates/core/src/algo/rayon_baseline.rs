@@ -52,13 +52,14 @@ pub fn bfs_rayon(graph: &CsrGraph, root: VertexId) -> NativeRun {
         let level_edges: u64 = frontier.iter().map(|&u| graph.degree(u) as u64).sum();
         edges_traversed += level_edges;
         visited += next.len() as u64;
-        let mut counts = ThreadCounts::default();
-        counts.vertices_scanned = frontier.len() as u64;
-        counts.edges_scanned = level_edges;
-        counts.bitmap_reads = level_edges;
-        counts.parent_writes = next.len() as u64;
-        counts.queue_pushes = next.len() as u64;
-        series.push(counts);
+        series.push(ThreadCounts {
+            vertices_scanned: frontier.len() as u64,
+            edges_scanned: level_edges,
+            bitmap_reads: level_edges,
+            parent_writes: next.len() as u64,
+            queue_pushes: next.len() as u64,
+            ..Default::default()
+        });
         frontier = next;
     }
     let seconds = start.elapsed().as_secs_f64();

@@ -8,8 +8,8 @@
 //! round-trip — all on cache lines shared by every thread, which is exactly
 //! the pattern Fig. 3 shows collapsing across sockets.
 
-use crate::algo::NativeRun;
 use crate::algo::parents::AtomicParents;
+use crate::algo::NativeRun;
 use crate::instrument::Recorder;
 use core::sync::atomic::{AtomicBool, Ordering};
 use mcbfs_graph::csr::{CsrGraph, VertexId};
@@ -83,7 +83,10 @@ pub fn bfs_simple(graph: &CsrGraph, root: VertexId, threads: usize) -> NativeRun
     // array itself, and nothing is software-pipelined.
     let profile = recorder.into_profile(n as u64, n as u64 * 4, false, edges_traversed);
     let parents = parents.into_vec();
-    let visited = parents.iter().filter(|&&p| p != mcbfs_graph::csr::UNVISITED).count() as u64;
+    let visited = parents
+        .iter()
+        .filter(|&&p| p != mcbfs_graph::csr::UNVISITED)
+        .count() as u64;
     NativeRun {
         parents,
         profile,

@@ -196,7 +196,10 @@ pub fn bfs_single_socket(
     };
     let profile = recorder.into_profile(n as u64, visited_bytes, true, edges_traversed);
     let parents = parents.into_vec();
-    let visited = parents.iter().filter(|&&p| p != mcbfs_graph::csr::UNVISITED).count() as u64;
+    let visited = parents
+        .iter()
+        .filter(|&&p| p != mcbfs_graph::csr::UNVISITED)
+        .count() as u64;
     NativeRun {
         parents,
         profile,
@@ -214,10 +217,26 @@ mod tests {
     fn all_opts() -> Vec<SingleSocketOpts> {
         vec![
             SingleSocketOpts::default(), // pipelined two-pass scan
-            SingleSocketOpts { use_bitmap: true, test_then_set: true, software_pipeline: false },
-            SingleSocketOpts { use_bitmap: true, test_then_set: false, software_pipeline: false },
-            SingleSocketOpts { use_bitmap: false, test_then_set: true, software_pipeline: false },
-            SingleSocketOpts { use_bitmap: false, test_then_set: false, software_pipeline: false },
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: true,
+                software_pipeline: false,
+            },
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: false,
+                software_pipeline: false,
+            },
+            SingleSocketOpts {
+                use_bitmap: false,
+                test_then_set: true,
+                software_pipeline: false,
+            },
+            SingleSocketOpts {
+                use_bitmap: false,
+                test_then_set: false,
+                software_pipeline: false,
+            },
         ]
     }
 
@@ -250,10 +269,16 @@ mod tests {
             &g,
             0,
             2,
-            SingleSocketOpts { use_bitmap: true, test_then_set: false, software_pipeline: false },
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: false,
+                software_pipeline: false,
+            },
         );
-        let (a_with, a_without) =
-            (with.profile.total().atomic_ops, without.profile.total().atomic_ops);
+        let (a_with, a_without) = (
+            with.profile.total().atomic_ops,
+            without.profile.total().atomic_ops,
+        );
         assert!(
             a_with * 2 < a_without,
             "test-then-set must cut atomics: {a_with} vs {a_without}"
@@ -294,7 +319,11 @@ mod tests {
             &g,
             0,
             1,
-            SingleSocketOpts { use_bitmap: false, test_then_set: true, software_pipeline: false },
+            SingleSocketOpts {
+                use_bitmap: false,
+                test_then_set: true,
+                software_pipeline: false,
+            },
         );
         assert_eq!(with.profile.visited_bytes, 125);
         assert_eq!(without.profile.visited_bytes, 4_000);
@@ -308,7 +337,11 @@ mod tests {
             &g,
             0,
             2,
-            SingleSocketOpts { use_bitmap: true, test_then_set: true, software_pipeline: false },
+            SingleSocketOpts {
+                use_bitmap: true,
+                test_then_set: true,
+                software_pipeline: false,
+            },
         );
         // Structure-determined counts are identical; only the instruction
         // schedule differs.

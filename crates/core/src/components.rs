@@ -67,8 +67,8 @@ pub fn connected_components(
         // Estimate whether this component justifies the thread team: a
         // quick bounded sequential probe of up to `parallel_threshold`
         // vertices.
-        let use_parallel = threads > 1
-            && component_at_least(graph, root, &labels, parallel_threshold);
+        let use_parallel =
+            threads > 1 && component_at_least(graph, root, &labels, parallel_threshold);
         let parents = if use_parallel {
             bfs_single_socket(graph, root, threads, SingleSocketOpts::default()).parents
         } else {

@@ -182,7 +182,13 @@ mod tests {
     #[test]
     fn stats_from_profile_copies_fields() {
         let rec = Recorder::new(1, 1, 1);
-        rec.deposit(0, vec![ThreadCounts { edges_scanned: 7, ..Default::default() }]);
+        rec.deposit(
+            0,
+            vec![ThreadCounts {
+                edges_scanned: 7,
+                ..Default::default()
+            }],
+        );
         let profile = rec.into_profile(10, 2, true, 7);
         let stats = stats_from_profile(&profile, 0.5, 4);
         assert_eq!(stats.levels, 1);

@@ -82,7 +82,10 @@ pub fn run_kernel(
     seed: u64,
 ) -> KernelStats {
     let roots = sample_roots(graph, searches.max(1), seed);
-    let runner = BfsRunner::new(graph).algorithm(algorithm).threads(threads).mode(mode);
+    let runner = BfsRunner::new(graph)
+        .algorithm(algorithm)
+        .threads(threads)
+        .mode(mode);
     let mut teps = Vec::with_capacity(roots.len());
     let mut total_edges = 0u64;
     for &root in &roots {
@@ -141,7 +144,14 @@ mod tests {
     fn kernel_model_mode_is_deterministic() {
         let g = graph();
         let mode = ExecMode::model(MachineModel::nehalem_ep());
-        let a = run_kernel(&g, Algorithm::MultiSocket { sockets: 2 }, 8, mode.clone(), 4, 5);
+        let a = run_kernel(
+            &g,
+            Algorithm::MultiSocket { sockets: 2 },
+            8,
+            mode.clone(),
+            4,
+            5,
+        );
         let b = run_kernel(&g, Algorithm::MultiSocket { sockets: 2 }, 8, mode, 4, 5);
         assert_eq!(a, b);
     }

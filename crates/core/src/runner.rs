@@ -1,12 +1,13 @@
 //! The front door: configure an algorithm, an executor and a thread count,
 //! then run BFS.
 
+use crate::algo::hybrid::{bfs_hybrid, ForcedDirection, HybridOpts};
 use crate::algo::multi_socket::{bfs_multi_socket, MultiSocketOpts};
 use crate::algo::sequential::bfs_sequential;
 use crate::algo::simple::bfs_simple;
 use crate::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
 use crate::instrument::{stats_from_profile, BfsStats};
-use crate::simexec::{simulate, VariantConfig};
+use crate::simexec::{simulate, simulate_hybrid, VariantConfig};
 use mcbfs_graph::csr::{CsrGraph, VertexId};
 use mcbfs_machine::model::MachineModel;
 use mcbfs_machine::profile::WorkProfile;
@@ -26,10 +27,26 @@ pub enum Algorithm {
         /// Number of socket groups.
         sockets: usize,
     },
+    /// Direction-optimizing extension: Algorithm 2's top-down machinery
+    /// plus bottom-up sweep levels over the dense frontier bitmap.
+    Hybrid {
+        /// Per-level direction policy (heuristic or forced).
+        policy: ForcedDirection,
+    },
 }
 
 impl Algorithm {
+    /// The heuristic-driven hybrid.
+    pub fn hybrid() -> Self {
+        Algorithm::Hybrid {
+            policy: ForcedDirection::Auto,
+        }
+    }
+
     /// The simulated-executor configuration equivalent to this algorithm.
+    /// [`Algorithm::Hybrid`] has no [`VariantConfig`] of its own (its
+    /// model-mode path is [`simulate_hybrid`]); the nearest fixed-direction
+    /// equivalent is Algorithm 2.
     pub fn variant_config(&self) -> VariantConfig {
         match *self {
             Algorithm::Sequential => VariantConfig {
@@ -37,7 +54,7 @@ impl Algorithm {
                 ..VariantConfig::algorithm2()
             },
             Algorithm::Simple => VariantConfig::algorithm1(),
-            Algorithm::SingleSocket => VariantConfig::algorithm2(),
+            Algorithm::SingleSocket | Algorithm::Hybrid { .. } => VariantConfig::algorithm2(),
             Algorithm::MultiSocket { sockets } => VariantConfig::algorithm3(sockets),
         }
     }
@@ -144,6 +161,12 @@ impl<'g> BfsRunner<'g> {
                         self.threads,
                         MultiSocketOpts::with_sockets(sockets),
                     ),
+                    Algorithm::Hybrid { policy } => bfs_hybrid(
+                        self.graph,
+                        root,
+                        self.threads,
+                        HybridOpts::with_policy(policy),
+                    ),
                 };
                 let stats = stats_from_profile(&run.profile, run.seconds, run.visited);
                 BfsResult {
@@ -158,7 +181,11 @@ impl<'g> BfsRunner<'g> {
                 } else {
                     self.threads
                 };
-                let sim = simulate(self.graph, root, threads, self.algorithm.variant_config());
+                let sim = if let Algorithm::Hybrid { policy } = self.algorithm {
+                    simulate_hybrid(self.graph, root, threads, HybridOpts::with_policy(policy))
+                } else {
+                    simulate(self.graph, root, threads, self.algorithm.variant_config())
+                };
                 let prediction = model.predict(&sim.profile);
                 let stats = stats_from_profile(&sim.profile, prediction.seconds, sim.visited);
                 BfsResult {
@@ -189,6 +216,7 @@ mod tests {
             Algorithm::Simple,
             Algorithm::SingleSocket,
             Algorithm::MultiSocket { sockets: 2 },
+            Algorithm::hybrid(),
         ] {
             let r = BfsRunner::new(&g).algorithm(algo).threads(4).run(0);
             validate_bfs_tree(&g, 0, &r.parents).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
@@ -248,5 +276,27 @@ mod tests {
         let g = graph();
         let r = BfsRunner::new(&g).threads(0).run(0);
         assert_eq!(r.stats.threads, 1);
+    }
+
+    #[test]
+    fn hybrid_runner_in_both_modes() {
+        let g = RmatBuilder::new(11, 8).seed(2).build();
+        let native = BfsRunner::new(&g)
+            .algorithm(Algorithm::hybrid())
+            .threads(4)
+            .run(0);
+        validate_bfs_tree(&g, 0, &native.parents).unwrap();
+        assert!(native.profile.direction_string().contains('B'));
+        let modeled = BfsRunner::new(&g)
+            .algorithm(Algorithm::hybrid())
+            .threads(4)
+            .mode(ExecMode::model(MachineModel::nehalem_ep()))
+            .run(0);
+        validate_bfs_tree(&g, 0, &modeled.parents).unwrap();
+        assert!(modeled.stats.seconds > 0.0);
+        assert_eq!(
+            modeled.profile.direction_string(),
+            native.profile.direction_string()
+        );
     }
 }

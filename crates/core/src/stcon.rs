@@ -44,7 +44,10 @@ impl StConnectivity {
 /// need the transpose — compose with [`mcbfs_graph::ops::transpose`].
 pub fn st_connectivity(graph: &CsrGraph, s: VertexId, t: VertexId) -> StConnectivity {
     let n = graph.num_vertices();
-    assert!((s as usize) < n && (t as usize) < n, "endpoints out of range");
+    assert!(
+        (s as usize) < n && (t as usize) < n,
+        "endpoints out of range"
+    );
     if s == t {
         return StConnectivity::Connected { path: vec![s] };
     }

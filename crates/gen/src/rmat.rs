@@ -103,7 +103,10 @@ impl RmatBuilder {
     /// # Panics
     /// Panics when the parameters do not form a probability distribution.
     pub fn params(mut self, params: RmatParams) -> Self {
-        assert!(params.is_valid(), "R-MAT parameters must sum to 1: {params:?}");
+        assert!(
+            params.is_valid(),
+            "R-MAT parameters must sum to 1: {params:?}"
+        );
         self.params = params;
         self
     }
@@ -241,20 +244,33 @@ mod tests {
     #[test]
     fn endpoints_in_range() {
         let e = RmatBuilder::new(7, 8).seed(2).build_edges();
-        assert!(e.iter().all(|&(u, v)| (u as usize) < 128 && (v as usize) < 128));
+        assert!(e
+            .iter()
+            .all(|&(u, v)| (u as usize) < 128 && (v as usize) < 128));
     }
 
     #[test]
     fn gtgraph_and_graph500_params_valid() {
         assert!(RmatParams::GTGRAPH.is_valid());
         assert!(RmatParams::GRAPH500.is_valid());
-        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
+        assert!(!RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .is_valid());
     }
 
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn invalid_params_rejected() {
-        let _ = RmatBuilder::new(4, 2).params(RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 });
+        let _ = RmatBuilder::new(4, 2).params(RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.0,
+            d: 0.0,
+        });
     }
 
     #[test]

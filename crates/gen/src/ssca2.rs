@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn endpoints_in_range() {
         let e = Ssca2Builder::new(300).seed(9).build_edges();
-        assert!(e.iter().all(|&(u, v)| (u as usize) < 300 && (v as usize) < 300));
+        assert!(e
+            .iter()
+            .all(|&(u, v)| (u as usize) < 300 && (v as usize) < 300));
     }
 
     #[test]

@@ -204,7 +204,10 @@ mod tests {
     fn torus_is_4_regular_everywhere() {
         let g = SyntheticBuilder::torus(100); // 10x10
         assert_eq!(g.num_vertices(), 100);
-        assert!((0..100u32).all(|v| g.degree(v) == 4), "torus must have no borders");
+        assert!(
+            (0..100u32).all(|v| g.degree(v) == 4),
+            "torus must have no borders"
+        );
     }
 
     #[test]
@@ -219,7 +222,13 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        for shape in [Shape::Path, Shape::Cycle, Shape::Star, Shape::Complete, Shape::BinaryTree] {
+        for shape in [
+            Shape::Path,
+            Shape::Cycle,
+            Shape::Star,
+            Shape::Complete,
+            Shape::BinaryTree,
+        ] {
             let g = SyntheticBuilder::new(shape, 0).build();
             assert_eq!(g.num_vertices(), 0, "{shape:?}");
             let g = SyntheticBuilder::new(shape, 1).build();

@@ -80,8 +80,9 @@ impl GraphBuilder for UniformBuilder {
             .par_iter()
             .flat_map_iter(|&start| {
                 let end = (start + CHUNK).min(self.n);
-                let mut rng =
-                    SmallRng::seed_from_u64(self.seed ^ (start as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = SmallRng::seed_from_u64(
+                    self.seed ^ (start as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 let degree = self.degree;
                 (start..end).flat_map(move |u| {
                     let mut out = Vec::with_capacity(degree);
@@ -122,7 +123,9 @@ mod tests {
     #[test]
     fn endpoints_in_range() {
         let edges = UniformBuilder::new(64, 3).seed(5).build_edges();
-        assert!(edges.iter().all(|&(u, v)| (u as usize) < 64 && (v as usize) < 64));
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < 64 && (v as usize) < 64));
     }
 
     #[test]

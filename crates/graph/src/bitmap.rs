@@ -72,6 +72,24 @@ impl AtomicBitmap {
         }
     }
 
+    /// Creates a bitmap of `bits` bits with exactly the given indices set —
+    /// the bulk constructor used when a sparse frontier is converted into a
+    /// dense one outside a parallel region.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) on indices `>= bits`.
+    pub fn from_ones(bits: usize, ones: impl IntoIterator<Item = usize>) -> Self {
+        let mut words = vec![0u64; bits.div_ceil(64)];
+        for bit in ones {
+            debug_assert!(bit < bits, "bit {bit} out of range 0..{bits}");
+            words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        Self {
+            words: words.into_iter().map(AtomicU64::new).collect(),
+            bits,
+        }
+    }
+
     /// Number of addressable bits.
     #[inline]
     pub fn len(&self) -> usize {
@@ -129,6 +147,28 @@ impl AtomicBitmap {
         }
     }
 
+    /// Number of 64-bit storage words.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Plain load of storage word `i` — the word-level read of the
+    /// bottom-up sweep, which inspects 64 visited bits at once.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Plain store of storage word `i`. Safe for concurrent use only when
+    /// word `i` is owned by one thread for the duration of the phase (the
+    /// bottom-up sweep partitions words contiguously across threads); a
+    /// barrier must publish the stores before other threads read them.
+    #[inline]
+    pub fn set_word(&self, i: usize, value: u64) {
+        self.words[i].store(value, Ordering::Relaxed);
+    }
+
     /// Clears every bit. Requires external quiescence (called between BFS
     /// runs); uses relaxed stores.
     pub fn clear(&self) {
@@ -137,18 +177,34 @@ impl AtomicBitmap {
         }
     }
 
-    /// Number of set bits.
+    /// Number of set bits (in-range bits only; stray bits a `set_word`
+    /// planted beyond `bits` are excluded, as in [`AtomicBitmap::iter_ones`]).
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
-            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .enumerate()
+            .map(|(i, w)| (w.load(Ordering::Relaxed) & self.word_mask(i)).count_ones() as usize)
             .sum()
     }
 
-    /// Iterator over the indices of set bits (quiescent snapshot).
+    /// Mask selecting the in-range bits of storage word `i` (all ones for
+    /// full words, the low `bits % 64` ones for the final partial word).
+    #[inline]
+    pub fn word_mask(&self, i: usize) -> u64 {
+        debug_assert!(i < self.words.len());
+        if i + 1 == self.words.len() && !self.bits.is_multiple_of(64) {
+            (1u64 << (self.bits % 64)) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Iterator over the indices of set bits (quiescent snapshot). Stray
+    /// bits beyond `bits` in the final word are masked off up front, so the
+    /// iteration stops at `bits` without per-index range checks.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, w)| {
-            let mut word = w.load(Ordering::Relaxed);
+            let mut word = w.load(Ordering::Relaxed) & self.word_mask(wi);
             core::iter::from_fn(move || {
                 if word == 0 {
                     return None;
@@ -158,7 +214,6 @@ impl AtomicBitmap {
                 Some(wi * 64 + bit)
             })
         })
-        .filter(move |&b| b < self.bits)
     }
 }
 
@@ -238,6 +293,54 @@ mod tests {
         }
         let got: Vec<_> = bm.iter_ones().collect();
         assert_eq!(got, set);
+    }
+
+    #[test]
+    fn from_ones_sets_exactly_the_given_bits() {
+        let set = [0usize, 7, 63, 64, 128, 129];
+        let bm = AtomicBitmap::from_ones(130, set.iter().copied());
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_ones(), set.len());
+        let got: Vec<_> = bm.iter_ones().collect();
+        assert_eq!(got, set);
+        assert!(!bm.test(1) && !bm.test(65));
+    }
+
+    #[test]
+    fn from_ones_empty_iterator() {
+        let bm = AtomicBitmap::from_ones(100, core::iter::empty());
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_accessors_roundtrip() {
+        let bm = AtomicBitmap::new(130);
+        assert_eq!(bm.num_words(), 3);
+        bm.set_word(1, 0b1010);
+        assert_eq!(bm.word(1), 0b1010);
+        assert!(bm.test(65) && bm.test(67));
+        assert!(!bm.test(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn word_mask_covers_partial_final_word() {
+        let bm = AtomicBitmap::new(130);
+        assert_eq!(bm.word_mask(0), u64::MAX);
+        assert_eq!(bm.word_mask(1), u64::MAX);
+        assert_eq!(bm.word_mask(2), 0b11);
+        let full = AtomicBitmap::new(128);
+        assert_eq!(full.word_mask(1), u64::MAX);
+    }
+
+    #[test]
+    fn iter_ones_ignores_stray_bits_past_len() {
+        // set_word can plant bits beyond `bits`; iter_ones must not yield
+        // them and count_ones-based consumers must see a consistent view.
+        let bm = AtomicBitmap::new(70);
+        bm.set_word(1, u64::MAX); // bits 64..128, only 64..70 in range
+        let got: Vec<_> = bm.iter_ones().collect();
+        assert_eq!(got, (64..70).collect::<Vec<_>>());
     }
 
     #[test]

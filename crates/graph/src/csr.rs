@@ -55,7 +55,10 @@ impl CsrGraph {
         );
         let mut degree = vec![0u64; n + 1];
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range 0..{n}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range 0..{n}"
+            );
             degree[u as usize + 1] += 1;
         }
         // Exclusive prefix sum over degrees gives the offsets.
@@ -100,7 +103,10 @@ impl CsrGraph {
         assert!((n as u64) < UNVISITED as u64);
         let degree: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         edges.par_iter().for_each(|&(u, v)| {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range 0..{n}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range 0..{n}"
+            );
             degree[u as usize].fetch_add(1, Ordering::Relaxed);
         });
         let mut offsets = vec![0u64; n + 1];

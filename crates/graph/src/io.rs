@@ -82,7 +82,11 @@ pub fn read_edge_list<R: Read>(r: &mut R) -> Result<(usize, Vec<(VertexId, Verte
     }
     let n = cur.get_u64_le() as usize;
     let m = cur.get_u64_le() as usize;
-    let mut payload = vec![0u8; m.checked_mul(8).ok_or(IoError::Corrupt("edge count overflow"))?];
+    let mut payload = vec![
+        0u8;
+        m.checked_mul(8)
+            .ok_or(IoError::Corrupt("edge count overflow"))?
+    ];
     r.read_exact(&mut payload)?;
     let mut cur = &payload[..];
     let mut edges = Vec::with_capacity(m);
@@ -135,13 +139,20 @@ pub fn read_csr<R: Read>(r: &mut R) -> Result<CsrGraph, IoError> {
     }
     let n = cur.get_u64_le() as usize;
     let m = cur.get_u64_le() as usize;
-    let mut offsets_raw =
-        vec![0u8; (n + 1).checked_mul(8).ok_or(IoError::Corrupt("vertex count overflow"))?];
+    let mut offsets_raw = vec![
+        0u8;
+        (n + 1)
+            .checked_mul(8)
+            .ok_or(IoError::Corrupt("vertex count overflow"))?
+    ];
     r.read_exact(&mut offsets_raw)?;
     let mut cur = &offsets_raw[..];
     let offsets: Vec<u64> = (0..=n).map(|_| cur.get_u64_le()).collect();
-    let mut targets_raw =
-        vec![0u8; m.checked_mul(4).ok_or(IoError::Corrupt("edge count overflow"))?];
+    let mut targets_raw = vec![
+        0u8;
+        m.checked_mul(4)
+            .ok_or(IoError::Corrupt("edge count overflow"))?
+    ];
     r.read_exact(&mut targets_raw)?;
     let mut cur = &targets_raw[..];
     let targets: Vec<VertexId> = (0..m).map(|_| cur.get_u32_le()).collect();
@@ -181,7 +192,11 @@ pub fn parse_text_edge_list(text: &str) -> Result<(usize, Vec<(VertexId, VertexI
         max_v = max_v.max(u).max(v);
         edges.push((u as VertexId, v as VertexId));
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     Ok((n, edges))
 }
 
@@ -276,7 +291,10 @@ mod tests {
     #[test]
     fn edge_list_rejects_bad_magic() {
         let buf = b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
-        assert!(matches!(read_edge_list(&mut &buf[..]), Err(IoError::BadMagic)));
+        assert!(matches!(
+            read_edge_list(&mut &buf[..]),
+            Err(IoError::BadMagic)
+        ));
     }
 
     #[test]
@@ -286,7 +304,10 @@ mod tests {
         // Corrupt the destination of the only edge to 9.
         let fixpos = buf.len() - 4;
         buf[fixpos..].copy_from_slice(&9u32.to_le_bytes());
-        assert!(matches!(read_edge_list(&mut &buf[..]), Err(IoError::Corrupt(_))));
+        assert!(matches!(
+            read_edge_list(&mut &buf[..]),
+            Err(IoError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -379,14 +400,20 @@ mod tests {
 
     #[test]
     fn matrix_market_rejects_bad_inputs() {
-        assert!(matches!(parse_matrix_market("nope"), Err(IoError::BadMagic)));
+        assert!(matches!(
+            parse_matrix_market("nope"),
+            Err(IoError::BadMagic)
+        ));
         assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n").is_err());
         let oob = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
         assert!(matches!(parse_matrix_market(oob), Err(IoError::Corrupt(_))));
         let zero = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
         assert!(parse_matrix_market(zero).is_err());
         let short = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n";
-        assert!(matches!(parse_matrix_market(short), Err(IoError::Corrupt(_))));
+        assert!(matches!(
+            parse_matrix_market(short),
+            Err(IoError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   of the paper). Its [`bitmap::AtomicBitmap::claim`] implements the
 //!   test-then-set idiom that eliminates most `lock`-prefixed operations
 //!   (Fig. 4).
+//! * [`frontier::Frontier`] — the frontier abstraction of the
+//!   direction-optimizing extension: an enum over the sparse chunked queue
+//!   and a dense bitmap level-set, with parallel conversions both ways.
 //! * [`partition::VertexPartition`] — the per-socket decomposition of
 //!   Algorithm 3: contiguous vertex ranges and the rule
 //!   `DetermineSocket(v)` assigning every vertex's visit state (parent slot,
@@ -26,6 +29,7 @@
 
 pub mod bitmap;
 pub mod csr;
+pub mod frontier;
 pub mod io;
 pub mod ops;
 pub mod partition;
@@ -33,5 +37,6 @@ pub mod validate;
 
 pub use bitmap::AtomicBitmap;
 pub use csr::{CsrGraph, VertexId, UNVISITED};
+pub use frontier::Frontier;
 pub use partition::VertexPartition;
 pub use validate::{validate_bfs_tree, BfsTreeInfo, ValidationError};

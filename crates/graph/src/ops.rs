@@ -52,8 +52,7 @@ pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, V
 /// Merges parallel edges and removes self-loops, returning a simple graph.
 pub fn simplify(graph: &CsrGraph) -> CsrGraph {
     let n = graph.num_vertices();
-    let mut edges: Vec<(VertexId, VertexId)> =
-        graph.edges().filter(|&(u, v)| u != v).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = graph.edges().filter(|&(u, v)| u != v).collect();
     edges.sort_unstable();
     edges.dedup();
     CsrGraph::from_edges(n, &edges)

@@ -47,7 +47,11 @@ impl VertexPartition {
         assert!(sockets > 0, "need at least one socket");
         let base = n / sockets;
         let rem = n % sockets;
-        let (big, num_big) = if rem == 0 { (base, sockets) } else { (base + 1, rem) };
+        let (big, num_big) = if rem == 0 {
+            (base, sockets)
+        } else {
+            (base + 1, rem)
+        };
         Self {
             n,
             sockets,
@@ -90,7 +94,11 @@ impl VertexPartition {
         } else {
             self.num_big * self.big + (socket - self.num_big) * (self.big - 1)
         };
-        let len = if socket < self.num_big { self.big } else { self.big.saturating_sub(1) };
+        let len = if socket < self.num_big {
+            self.big
+        } else {
+            self.big.saturating_sub(1)
+        };
         start..(start + len).min(self.n)
     }
 
@@ -183,7 +191,11 @@ mod tests {
                     assert_eq!(r.start, cursor, "n={n} sockets={sockets} s={s}");
                     cursor = r.end;
                     for v in r.clone() {
-                        assert_eq!(p.socket_of(v as VertexId), s, "n={n} sockets={sockets} v={v}");
+                        assert_eq!(
+                            p.socket_of(v as VertexId),
+                            s,
+                            "n={n} sockets={sockets} v={v}"
+                        );
                         assert_eq!(p.local_index(v as VertexId), v - r.start);
                     }
                 }

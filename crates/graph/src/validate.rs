@@ -68,7 +68,10 @@ impl core::fmt::Display for ValidationError {
                 write!(f, "vertex {vertex} has unvisited parent {parent}")
             }
             Self::MissingEdge { vertex, parent } => {
-                write!(f, "edge ({parent},{vertex}) claimed by tree but absent from graph")
+                write!(
+                    f,
+                    "edge ({parent},{vertex}) claimed by tree but absent from graph"
+                )
             }
             Self::WrongLevel {
                 vertex,
@@ -197,10 +200,16 @@ pub fn validate_bfs_tree(
             return Err(ValidationError::SelfParent { vertex: v });
         }
         if parents[p as usize] == UNVISITED {
-            return Err(ValidationError::UnvisitedParent { vertex: v, parent: p });
+            return Err(ValidationError::UnvisitedParent {
+                vertex: v,
+                parent: p,
+            });
         }
         if !graph.has_edge(p, v) {
-            return Err(ValidationError::MissingEdge { vertex: v, parent: p });
+            return Err(ValidationError::MissingEdge {
+                vertex: v,
+                parent: p,
+            });
         }
         let p_level = levels[p as usize];
         if true_level != p_level + 1 {
@@ -288,7 +297,13 @@ mod tests {
         let mut parents = sequential_parents(&g, 0);
         parents[2] = 0; // no (0,2) edge
         let e = validate_bfs_tree(&g, 0, &parents).unwrap_err();
-        assert!(matches!(e, ValidationError::MissingEdge { vertex: 2, parent: 0 }));
+        assert!(matches!(
+            e,
+            ValidationError::MissingEdge {
+                vertex: 2,
+                parent: 0
+            }
+        ));
     }
 
     #[test]
@@ -366,7 +381,13 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ValidationError::MissingEdge { vertex: 7, parent: 3 };
-        assert_eq!(e.to_string(), "edge (3,7) claimed by tree but absent from graph");
+        let e = ValidationError::MissingEdge {
+            vertex: 7,
+            parent: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "edge (3,7) claimed by tree but absent from graph"
+        );
     }
 }

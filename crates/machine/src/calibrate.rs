@@ -92,7 +92,9 @@ pub fn calibrate_host(effort: CalibrationEffort) -> CalibrationReport {
 
 /// A model of *this* machine: detected thread count, measured constants.
 pub fn host_model(effort: CalibrationEffort) -> MachineModel {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Without reliable topology probing, treat the host as one socket of
     // `threads` single-SMT cores; users with known topologies can construct
     // the spec directly.
@@ -119,7 +121,11 @@ mod tests {
         assert!(p.lat_mem_ns <= p.lat_mem_big_ns);
         // Physically plausible magnitudes — generous bounds because tests
         // run unoptimized and possibly on virtualized hardware.
-        assert!(p.lat_l1_ns > 0.1 && p.lat_l1_ns < 500.0, "L1 {}", p.lat_l1_ns);
+        assert!(
+            p.lat_l1_ns > 0.1 && p.lat_l1_ns < 500.0,
+            "L1 {}",
+            p.lat_l1_ns
+        );
         assert!(p.lat_mem_ns < 10_000.0, "mem {}", p.lat_mem_ns);
         assert!((0.1..=1.0).contains(&p.pipeline_efficiency));
         assert!(p.atomic_local_ns >= 1.0 && p.atomic_local_ns < 1_000.0);

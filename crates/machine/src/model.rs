@@ -374,9 +374,7 @@ impl MachineModel {
                     + t.channel_drained as f64 * probe_ns;
                 // Execution component: instruction work, atomics, channels.
                 let cpu_ns = t.edges_scanned as f64 * p.seq_edge_ns
-                    + (t.atomic_ops - t.remote_atomic_ops) as f64
-                        * p.atomic_local_ns
-                        * contention
+                    + (t.atomic_ops - t.remote_atomic_ops) as f64 * p.atomic_local_ns * contention
                     + t.remote_atomic_ops as f64 * p.atomic_local_ns * contention * atomic_penalty
                     + t.queue_pushes as f64 * p.queue_push_ns
                     + t.channel_items as f64 * p.channel_item_ns
@@ -399,8 +397,8 @@ impl MachineModel {
                     * p.atomic_local_ns
                     * contention
                     + t.remote_atomic_ops as f64 * p.atomic_local_ns * contention * atomic_penalty;
-                bd.queues += t.queue_pushes as f64 * p.queue_push_ns
-                    + t.parent_writes as f64 * parent_ns;
+                bd.queues +=
+                    t.queue_pushes as f64 * p.queue_push_ns + t.parent_writes as f64 * parent_ns;
                 bd.channels += t.channel_items as f64 * p.channel_item_ns
                     + t.channel_batches as f64 * p.channel_batch_ns
                     + t.channel_drained as f64 * p.channel_drain_ns;
@@ -443,7 +441,11 @@ impl MachineModel {
         Prediction {
             seconds: total,
             edges_per_second: eps,
-            barrier_fraction: if total > 0.0 { barrier_total / total } else { 0.0 },
+            barrier_fraction: if total > 0.0 {
+                barrier_total / total
+            } else {
+                0.0
+            },
             level_seconds,
             breakdown: bd,
         }
@@ -462,10 +464,22 @@ mod tests {
     #[test]
     fn latency_staircase_is_monotone() {
         let m = ep();
-        let sizes = [1u64 << 12, 1 << 15, 1 << 18, 1 << 21, 1 << 23, 1 << 27, 1 << 31, 1 << 33];
+        let sizes = [
+            1u64 << 12,
+            1 << 15,
+            1 << 18,
+            1 << 21,
+            1 << 23,
+            1 << 27,
+            1 << 31,
+            1 << 33,
+        ];
         let lats: Vec<f64> = sizes.iter().map(|&s| m.random_latency_ns(s)).collect();
         for w in lats.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "latency must be non-decreasing: {lats:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "latency must be non-decreasing: {lats:?}"
+            );
         }
         assert!(lats[0] <= 3.0);
         assert!(*lats.last().unwrap() >= 190.0);
@@ -521,7 +535,10 @@ mod tests {
         // processing rate of only 3 cores on a single socket."
         let r5 = m.fetch_add_rate(5);
         let r8 = m.fetch_add_rate(8);
-        assert!(r5 < r4, "crossing the socket must drop the rate: r4={r4:.3e} r5={r5:.3e}");
+        assert!(
+            r5 < r4,
+            "crossing the socket must drop the rate: r4={r4:.3e} r5={r5:.3e}"
+        );
         let ratio = r8 / r3;
         assert!(
             (0.6..1.6).contains(&ratio),
@@ -551,6 +568,7 @@ mod tests {
                 channel_items: 0,
                 channel_batches: 0,
                 channel_drained: 0,
+                edges_skipped: 0,
             };
         }
         WorkProfile {

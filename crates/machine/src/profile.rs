@@ -10,6 +10,30 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Traversal direction of one BFS level. The paper's Algorithms 1–3 are
+/// strictly [`Direction::TopDown`]; the direction-optimizing extension
+/// switches dense middle levels to [`Direction::BottomUp`], and tags each
+/// level so the heuristic's decisions are visible in profiles and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Scan edges out of the frontier, claiming unvisited neighbours.
+    #[default]
+    TopDown,
+    /// Scan unvisited vertices, searching their adjacency for a frontier
+    /// member and stopping at the first hit.
+    BottomUp,
+}
+
+impl Direction {
+    /// One-letter tag used in compact per-level direction strings ("TTBBT").
+    pub fn letter(self) -> char {
+        match self {
+            Direction::TopDown => 'T',
+            Direction::BottomUp => 'B',
+        }
+    }
+}
+
 /// Operation counts for one thread within one BFS level.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadCounts {
@@ -39,6 +63,12 @@ pub struct ThreadCounts {
     pub channel_batches: u64,
     /// Tuples drained from this socket's incoming channels.
     pub channel_drained: u64,
+    /// Adjacency entries *not* examined because a bottom-up scan
+    /// early-exited at the first frontier parent. Work avoided, not work
+    /// done — excluded from [`ThreadCounts::total_ops`] and priced at zero
+    /// by the cost model; reported so the direction-optimizing saving is
+    /// visible next to `edges_scanned`.
+    pub edges_skipped: u64,
 }
 
 impl ThreadCounts {
@@ -55,6 +85,7 @@ impl ThreadCounts {
         self.channel_items += other.channel_items;
         self.channel_batches += other.channel_batches;
         self.channel_drained += other.channel_drained;
+        self.edges_skipped += other.edges_skipped;
     }
 
     /// Sum of all counted operations (sanity/diagnostics).
@@ -78,6 +109,9 @@ pub struct LevelProfile {
     /// Barrier episodes this level executed (2 for the two-phase
     /// multi-socket algorithm, 1 for single-socket).
     pub barriers: u32,
+    /// Traversal direction this level ran in (`TopDown` for every
+    /// non-hybrid algorithm).
+    pub direction: Direction,
 }
 
 impl LevelProfile {
@@ -86,6 +120,7 @@ impl LevelProfile {
         Self {
             threads: vec![ThreadCounts::default(); threads],
             barriers,
+            direction: Direction::TopDown,
         }
     }
 
@@ -100,7 +135,11 @@ impl LevelProfile {
 
     /// The busiest thread's edge-scan count (load-balance diagnostic).
     pub fn max_edges(&self) -> u64 {
-        self.threads.iter().map(|t| t.edges_scanned).max().unwrap_or(0)
+        self.threads
+            .iter()
+            .map(|t| t.edges_scanned)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -150,6 +189,12 @@ impl WorkProfile {
         self.levels.iter().map(|l| l.barriers as u64).sum()
     }
 
+    /// Compact per-level direction string, e.g. `"TTBBBT"` — one letter per
+    /// level in execution order. All-`T` for the non-hybrid algorithms.
+    pub fn direction_string(&self) -> String {
+        self.levels.iter().map(|l| l.direction.letter()).collect()
+    }
+
     /// Per-level `(bitmap_reads, atomic_ops)` aggregates — exactly the two
     /// series plotted in the paper's Fig. 4.
     pub fn bitmap_vs_atomics_series(&self) -> Vec<(u64, u64)> {
@@ -180,6 +225,7 @@ mod tests {
             channel_items: x / 4,
             channel_batches: x / 16,
             channel_drained: x / 4,
+            edges_skipped: 3 * x,
         }
     }
 
@@ -190,6 +236,41 @@ mod tests {
         assert_eq!(a.vertices_scanned, 24);
         assert_eq!(a.edges_scanned, 240);
         assert_eq!(a.channel_batches, 1);
+        assert_eq!(a.edges_skipped, 72);
+    }
+
+    #[test]
+    fn edges_skipped_not_in_total_ops() {
+        // Skipped edges are avoided work; only executed operations sum.
+        let c = ThreadCounts {
+            edges_skipped: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(c.total_ops(), 0);
+    }
+
+    #[test]
+    fn direction_defaults_and_letters() {
+        let l = LevelProfile::new(1, 1);
+        assert_eq!(l.direction, Direction::TopDown);
+        assert_eq!(Direction::TopDown.letter(), 'T');
+        assert_eq!(Direction::BottomUp.letter(), 'B');
+    }
+
+    #[test]
+    fn direction_string_reflects_per_level_tags() {
+        let mut p = WorkProfile {
+            threads: 1,
+            sockets: 1,
+            num_vertices: 4,
+            visited_bytes: 1,
+            pipelined: true,
+            sharded_state: true,
+            edges_traversed: 0,
+            levels: vec![LevelProfile::new(1, 1); 3],
+        };
+        p.levels[1].direction = Direction::BottomUp;
+        assert_eq!(p.direction_string(), "TBT");
     }
 
     #[test]
@@ -229,9 +310,6 @@ mod tests {
     #[test]
     fn total_ops_sums_components() {
         let c = sample_counts(16);
-        assert_eq!(
-            c.total_ops(),
-            16 + 160 + 160 + 16 + 16 + 16 + 4 + 4
-        );
+        assert_eq!(c.total_ops(), 16 + 160 + 160 + 16 + 16 + 16 + 4 + 4);
     }
 }

@@ -237,7 +237,13 @@ mod tests {
     #[test]
     fn table3_has_all_cited_systems() {
         let rows = table3_rows();
-        for sys in ["Cray MTA-2", "Cray XMT", "IBM Cell/B.E.", "IBM BlueGene/L", "dual Intel X5580"] {
+        for sys in [
+            "Cray MTA-2",
+            "Cray XMT",
+            "IBM Cell/B.E.",
+            "IBM BlueGene/L",
+            "dual Intel X5580",
+        ] {
             assert!(rows.iter().any(|r| r.system == sys), "missing {sys}");
         }
         assert_eq!(rows.len(), 14);
@@ -248,7 +254,8 @@ mod tests {
         let rows = table3_rows();
         for claim in headline_claims() {
             assert!(
-                rows.iter().any(|r| (r.me_per_s - claim.comparator_me_per_s).abs() < 1e-9),
+                rows.iter()
+                    .any(|r| (r.me_per_s - claim.comparator_me_per_s).abs() < 1e-9),
                 "claim {} comparator not in Table III",
                 claim.id
             );

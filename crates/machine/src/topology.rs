@@ -223,8 +223,14 @@ mod tests {
     fn threads_on_socket_sums_to_total() {
         let ex = MachineSpec::nehalem_ex();
         for threads in [1, 7, 8, 16, 33, 64] {
-            let total: usize = (0..ex.sockets).map(|s| ex.threads_on_socket(s, threads)).sum();
-            assert_eq!(total, threads.min(ex.total_threads()), "threads = {threads}");
+            let total: usize = (0..ex.sockets)
+                .map(|s| ex.threads_on_socket(s, threads))
+                .sum();
+            assert_eq!(
+                total,
+                threads.min(ex.total_threads()),
+                "threads = {threads}"
+            );
         }
     }
 

@@ -27,6 +27,7 @@ fn arb_counts() -> impl Strategy<Value = ThreadCounts> {
             channel_items: items,
             channel_batches: items / 64,
             channel_drained: drained,
+            edges_skipped: e / 2,
         })
 }
 
@@ -38,30 +39,32 @@ fn arb_profile() -> impl Strategy<Value = WorkProfile> {
         any::<bool>(),
         1usize..5,
     )
-        .prop_map(|(levels_counts, num_vertices, pipelined, sharded, sockets)| {
-            let threads = levels_counts[0].len();
-            let levels: Vec<LevelProfile> = levels_counts
-                .into_iter()
-                .map(|counts| {
-                    let mut l = LevelProfile::new(threads, 2);
-                    for (i, c) in counts.into_iter().enumerate().take(threads) {
-                        l.threads[i] = c;
-                    }
-                    l
-                })
-                .collect();
-            let edges: u64 = levels.iter().map(|l| l.total().edges_scanned).sum();
-            WorkProfile {
-                levels,
-                threads,
-                sockets,
-                num_vertices,
-                visited_bytes: num_vertices.div_ceil(8),
-                pipelined,
-                sharded_state: sharded,
-                edges_traversed: edges,
-            }
-        })
+        .prop_map(
+            |(levels_counts, num_vertices, pipelined, sharded, sockets)| {
+                let threads = levels_counts[0].len();
+                let levels: Vec<LevelProfile> = levels_counts
+                    .into_iter()
+                    .map(|counts| {
+                        let mut l = LevelProfile::new(threads, 2);
+                        for (i, c) in counts.into_iter().enumerate().take(threads) {
+                            l.threads[i] = c;
+                        }
+                        l
+                    })
+                    .collect();
+                let edges: u64 = levels.iter().map(|l| l.total().edges_scanned).sum();
+                WorkProfile {
+                    levels,
+                    threads,
+                    sockets,
+                    num_vertices,
+                    visited_bytes: num_vertices.div_ceil(8),
+                    pipelined,
+                    sharded_state: sharded,
+                    edges_traversed: edges,
+                }
+            },
+        )
 }
 
 proptest! {

@@ -105,7 +105,10 @@ impl<T: ?Sized> McsLock<T> {
                 }
             }
         }
-        McsGuard { lock: self, node: node_ptr }
+        McsGuard {
+            lock: self,
+            node: node_ptr,
+        }
     }
 
     /// `true` if some thread currently holds or awaits the lock (racy).
@@ -146,7 +149,12 @@ impl<T: ?Sized> Drop for McsGuard<'_, T> {
             if self
                 .lock
                 .tail
-                .compare_exchange(self.node, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(
+                    self.node,
+                    ptr::null_mut(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 return;

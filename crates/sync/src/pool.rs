@@ -149,7 +149,10 @@ impl WorkerPool {
         let panicked = st.panicked;
         st.job = None;
         drop(st);
-        assert!(panicked == 0, "{panicked} worker(s) panicked during pool job");
+        assert!(
+            panicked == 0,
+            "{panicked} worker(s) panicked during pool job"
+        );
     }
 }
 

@@ -129,7 +129,10 @@ impl<T: Default> Default for TicketLock<T> {
 impl<T: ?Sized + core::fmt::Debug> core::fmt::Debug for TicketLock<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self.try_lock() {
-            Some(guard) => f.debug_struct("TicketLock").field("value", &&*guard).finish(),
+            Some(guard) => f
+                .debug_struct("TicketLock")
+                .field("value", &&*guard)
+                .finish(),
             None => f.write_str("TicketLock { <locked> }"),
         }
     }
@@ -158,7 +161,11 @@ impl<T: ?Sized> core::ops::DerefMut for TicketGuard<'_, T> {
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
         // Hand the lock to the next ticket in FIFO order.
-        let next = self.lock.now_serving.load(Ordering::Relaxed).wrapping_add(1);
+        let next = self
+            .lock
+            .now_serving
+            .load(Ordering::Relaxed)
+            .wrapping_add(1);
         self.lock.now_serving.store(next, Ordering::Release);
     }
 }

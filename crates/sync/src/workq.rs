@@ -113,8 +113,9 @@ impl<T: Copy + Default> SharedQueue<T> {
     /// resets. For a BFS frontier, `capacity = |V|` is always sufficient
     /// because a vertex enters a frontier at most once.
     pub fn with_capacity(capacity: usize) -> Self {
-        let slots: Box<[UnsafeCell<T>]> =
-            (0..capacity).map(|_| UnsafeCell::new(T::default())).collect();
+        let slots: Box<[UnsafeCell<T>]> = (0..capacity)
+            .map(|_| UnsafeCell::new(T::default()))
+            .collect();
         Self {
             slots,
             head: CachePadded::new(AtomicUsize::new(0)),

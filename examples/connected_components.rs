@@ -40,7 +40,10 @@ fn main() {
 
     // Community-structure sanity: the giant component should dominate a
     // connected-ish power-law graph, and every vertex must be labelled.
-    assert!(components.labels.iter().all(|&l| l != multicore_bfs::graph::csr::UNVISITED));
+    assert!(components
+        .labels
+        .iter()
+        .all(|&l| l != multicore_bfs::graph::csr::UNVISITED));
     let total: usize = components.sizes.iter().map(|&(_, s)| s).sum();
     assert_eq!(total, graph.num_vertices());
     println!("Label cover verified: every vertex belongs to exactly one component.");

@@ -28,7 +28,10 @@ fn main() {
         }
         println!("  fetch-and-add collapse across sockets:");
         for t in [1, 2, 4, 5, 8, 16] {
-            println!("    {t:>2} threads: {:>7.1} Mops/s", model.fetch_add_rate(t) / 1e6);
+            println!(
+                "    {t:>2} threads: {:>7.1} Mops/s",
+                model.fetch_add_rate(t) / 1e6
+            );
         }
     }
 

@@ -33,7 +33,9 @@ fn main() {
         "Graph ready: {} vertices, {} edges ({:.1} MB on disk)",
         graph.num_vertices(),
         graph.num_edges(),
-        std::fs::metadata(&path).map(|m| m.len() as f64 / 1e6).unwrap_or(0.0)
+        std::fs::metadata(&path)
+            .map(|m| m.len() as f64 / 1e6)
+            .unwrap_or(0.0)
     );
 
     let result = BfsRunner::new(&graph)

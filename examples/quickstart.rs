@@ -43,7 +43,10 @@ fn main() {
         s.totals.edges_scanned,
         s.totals.bitmap_reads,
         s.totals.atomic_ops,
-        s.totals.bitmap_reads.checked_div(s.totals.atomic_ops).unwrap_or(0),
+        s.totals
+            .bitmap_reads
+            .checked_div(s.totals.atomic_ops)
+            .unwrap_or(0),
         s.totals.channel_items,
         s.totals.channel_batches,
     );

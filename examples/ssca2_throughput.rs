@@ -17,7 +17,12 @@ fn main() {
 
     println!("Building {instances} SSCA#2-style graphs with {n} vertices each ...");
     let graphs: Vec<_> = (0..instances)
-        .map(|i| Ssca2Builder::new(n).max_clique_size(16).seed(33 + i as u64).build())
+        .map(|i| {
+            Ssca2Builder::new(n)
+                .max_clique_size(16)
+                .seed(33 + i as u64)
+                .build()
+        })
         .collect();
     let roots = vec![0u32; instances];
 

@@ -10,6 +10,7 @@
 //! mcbfs calibrate
 //! ```
 
+use multicore_bfs::core::algo::hybrid::ForcedDirection;
 use multicore_bfs::core::components::connected_components;
 use multicore_bfs::core::kernel::run_kernel;
 use multicore_bfs::core::runner::{Algorithm, BfsRunner, ExecMode};
@@ -55,7 +56,7 @@ fn usage(err: &str) -> ! {
          \x20 generate    --kind uniform|rmat|ssca2|grid --scale N | --vertices N\n\
          \x20             [--degree D] [--seed S] [--permute] --out PATH\n\
          \x20 bfs         --graph PATH [--root R] [--threads T]\n\
-         \x20             [--algorithm seq|simple|single|multi:S]\n\
+         \x20             [--algorithm seq|simple|single|multi:S|hybrid[:auto|td|bu|alt]]\n\
          \x20 kernel      --graph PATH [--searches K] [--threads T] [--seed S]\n\
          \x20 components  --graph PATH [--threads T]\n\
          \x20 stcon       --graph PATH --source S --target T\n\
@@ -84,13 +85,17 @@ fn parse_flags(raw: Vec<String>) -> HashMap<String, String> {
 
 fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
     match opts.get(key) {
-        Some(raw) => raw.parse().unwrap_or_else(|_| usage(&format!("bad --{key} {raw:?}"))),
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("bad --{key} {raw:?}"))),
         None => default,
     }
 }
 
 fn require(opts: &HashMap<String, String>, key: &str) -> String {
-    opts.get(key).cloned().unwrap_or_else(|| usage(&format!("missing --{key}")))
+    opts.get(key)
+        .cloned()
+        .unwrap_or_else(|| usage(&format!("missing --{key}")))
 }
 
 fn load_graph(opts: &HashMap<String, String>) -> CsrGraph {
@@ -143,10 +148,22 @@ fn parse_algorithm(spec: &str) -> Algorithm {
         "seq" | "sequential" => Algorithm::Sequential,
         "simple" | "alg1" => Algorithm::Simple,
         "single" | "alg2" => Algorithm::SingleSocket,
+        "hybrid" => Algorithm::hybrid(),
         other => {
             if let Some(s) = other.strip_prefix("multi:") {
-                let sockets = s.parse().unwrap_or_else(|_| usage(&format!("bad socket count {s:?}")));
+                let sockets = s
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad socket count {s:?}")));
                 Algorithm::MultiSocket { sockets }
+            } else if let Some(p) = other.strip_prefix("hybrid:") {
+                let policy = match p {
+                    "auto" => ForcedDirection::Auto,
+                    "td" | "top-down" => ForcedDirection::TopDown,
+                    "bu" | "bottom-up" => ForcedDirection::BottomUp,
+                    "alt" | "alternate" => ForcedDirection::Alternate,
+                    bad => usage(&format!("bad hybrid policy {bad:?} (auto|td|bu|alt)")),
+                };
+                Algorithm::Hybrid { policy }
             } else {
                 usage(&format!("unknown --algorithm {other:?}"))
             }
@@ -159,7 +176,10 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
     let root: u32 = get(opts, "root", 0u32);
     let threads: usize = get(opts, "threads", 1usize);
     let algorithm = parse_algorithm(&get(opts, "algorithm", "single".to_string()));
-    let result = BfsRunner::new(&graph).algorithm(algorithm).threads(threads).run(root);
+    let result = BfsRunner::new(&graph)
+        .algorithm(algorithm)
+        .threads(threads)
+        .run(root);
     validate_bfs_tree(&graph, root, &result.parents)
         .unwrap_or_else(|e| usage(&format!("produced invalid tree: {e}")));
     let s = &result.stats;
@@ -172,6 +192,14 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
         s.me_per_s(),
         s.edges_traversed
     );
+    if matches!(algorithm, Algorithm::Hybrid { .. }) {
+        let skipped = result.profile.total().edges_skipped;
+        println!(
+            "directions: {} ({} edges skipped by bottom-up early exit)",
+            result.profile.direction_string(),
+            skipped
+        );
+    }
 }
 
 fn cmd_kernel(opts: &HashMap<String, String>) {
@@ -257,9 +285,15 @@ fn cmd_calibrate(opts: &HashMap<String, String>) {
     println!("calibrating this host ({effort:?}) ...");
     let report = calibrate_host(effort);
     for (bytes, ns) in &report.latency_points {
-        println!("  {:>10} B working set: {:>8.1} ns/dependent read", bytes, ns);
+        println!(
+            "  {:>10} B working set: {:>8.1} ns/dependent read",
+            bytes, ns
+        );
     }
-    println!("  pipelining gain (batch 16 vs 1): {:.1}x", report.pipelining_gain);
+    println!(
+        "  pipelining gain (batch 16 vs 1): {:.1}x",
+        report.pipelining_gain
+    );
     println!("  fetch_add: {:.1} ns", report.atomic_ns);
     println!(
         "fitted params: L1 {:.1} / L2 {:.1} / L3 {:.1} / mem {:.1} ns, efficiency {:.2}",

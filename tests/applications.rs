@@ -41,7 +41,11 @@ fn kernel_runs_every_algorithm_mode_combination() {
 
 #[test]
 fn stcon_agrees_with_component_labels() {
-    let g = Ssca2Builder::new(800).max_clique_size(10).prob_interclique(0.3).seed(5).build();
+    let g = Ssca2Builder::new(800)
+        .max_clique_size(10)
+        .prob_interclique(0.3)
+        .seed(5)
+        .build();
     let comps = connected_components(&g, 2, 256);
     let mut connected_checked = 0;
     let mut disconnected_checked = 0;
@@ -49,13 +53,19 @@ fn stcon_agrees_with_component_labels() {
         let same_component = comps.labels[s as usize] == comps.labels[t as usize];
         match st_connectivity(&g, s, t) {
             StConnectivity::Connected { path } => {
-                assert!(same_component, "stcon found a path across components ({s},{t})");
+                assert!(
+                    same_component,
+                    "stcon found a path across components ({s},{t})"
+                );
                 assert_eq!(path[0], s);
                 assert_eq!(*path.last().unwrap(), t);
                 connected_checked += 1;
             }
             StConnectivity::Disconnected { .. } => {
-                assert!(!same_component, "stcon missed a path within a component ({s},{t})");
+                assert!(
+                    !same_component,
+                    "stcon missed a path within a component ({s},{t})"
+                );
                 disconnected_checked += 1;
             }
         }
@@ -67,7 +77,14 @@ fn stcon_agrees_with_component_labels() {
 fn distributed_extension_agrees_with_shared_memory_algorithms() {
     let g = RmatBuilder::new(10, 6).seed(52).permute(true).build();
     let seq = multicore_bfs::core::algo::sequential::bfs_sequential(&g, 4);
-    let dist = bfs_distributed(&g, 4, DistributedOpts { ranks: 4, ..Default::default() });
+    let dist = bfs_distributed(
+        &g,
+        4,
+        DistributedOpts {
+            ranks: 4,
+            ..Default::default()
+        },
+    );
     validate_bfs_tree(&g, 4, &dist.parents).unwrap();
     assert_eq!(dist.visited, seq.visited);
     assert_eq!(dist.profile.edges_traversed, seq.profile.edges_traversed);
@@ -86,9 +103,14 @@ fn bfs_on_largest_component_subgraph() {
     assert_eq!(sub.num_vertices(), comps.largest());
     // The subgraph is fully connected from any vertex.
     let levels = sequential_levels(&sub, 0);
-    assert!(levels.iter().all(|&l| l != u32::MAX), "giant component must be connected");
+    assert!(
+        levels.iter().all(|&l| l != u32::MAX),
+        "giant component must be connected"
+    );
     // And ids map back into the original graph.
-    assert!(map.iter().all(|&old| comps.labels[old as usize] == giant_root));
+    assert!(map
+        .iter()
+        .all(|&old| comps.labels[old as usize] == giant_root));
 }
 
 #[test]

@@ -14,6 +14,7 @@ fn all_algorithms() -> Vec<Algorithm> {
         Algorithm::SingleSocket,
         Algorithm::MultiSocket { sockets: 2 },
         Algorithm::MultiSocket { sockets: 4 },
+        Algorithm::hybrid(),
     ]
 }
 
@@ -22,7 +23,10 @@ fn check_all(graph: &CsrGraph, root: u32, label: &str) {
     let expected_visited = reference.iter().filter(|&&l| l != u32::MAX).count();
     for algo in all_algorithms() {
         for threads in [1usize, 2, 4, 8] {
-            let r = BfsRunner::new(graph).algorithm(algo).threads(threads).run(root);
+            let r = BfsRunner::new(graph)
+                .algorithm(algo)
+                .threads(threads)
+                .run(root);
             let info = validate_bfs_tree(graph, root, &r.parents)
                 .unwrap_or_else(|e| panic!("{label} {algo:?} x{threads}: {e}"));
             assert_eq!(
@@ -100,7 +104,16 @@ fn disconnected_islands() {
 fn self_loops_and_multi_edges_tolerated() {
     let g = CsrGraph::from_edges_symmetric(
         6,
-        &[(0, 0), (0, 1), (0, 1), (1, 2), (2, 2), (2, 3), (3, 0), (4, 5)],
+        &[
+            (0, 0),
+            (0, 1),
+            (0, 1),
+            (1, 2),
+            (2, 2),
+            (2, 3),
+            (3, 0),
+            (4, 5),
+        ],
     );
     check_all(&g, 0, "multi");
 }

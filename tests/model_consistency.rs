@@ -61,7 +61,12 @@ fn channels_beat_shared_state_across_sockets() {
         let threads = model.spec.total_cores();
         let sockets = model.spec.sockets;
         let with = simulate(&g, 0, threads, VariantConfig::algorithm3(sockets));
-        let without = simulate(&g, 0, threads, VariantConfig::algorithm2_multisocket(sockets));
+        let without = simulate(
+            &g,
+            0,
+            threads,
+            VariantConfig::algorithm2_multisocket(sockets),
+        );
         let (tw, tn) = (
             model.predict(&with.profile).seconds,
             model.predict(&without.profile).seconds,
@@ -89,7 +94,10 @@ fn optimization_ladder_is_ordered_single_socket() {
         ..VariantConfig::algorithm2()
     });
     assert!(alg2 < no_tts, "test-then-set must help: {alg2} !< {no_tts}");
-    assert!(alg2 < alg1, "algorithm 2 must beat algorithm 1: {alg2} !< {alg1}");
+    assert!(
+        alg2 < alg1,
+        "algorithm 2 must beat algorithm 1: {alg2} !< {alg1}"
+    );
 }
 
 #[test]
@@ -107,8 +115,7 @@ fn batching_beats_unbatched_channels() {
         },
     );
     assert!(
-        model.predict(&batched.profile).seconds * 2.0
-            < model.predict(&unbatched.profile).seconds,
+        model.predict(&batched.profile).seconds * 2.0 < model.predict(&unbatched.profile).seconds,
         "batching must be at least a 2x win"
     );
 }
@@ -141,7 +148,10 @@ fn fig2_pipelining_and_fig3_collapse_reproduce() {
     // Fig. 3: crossing the socket drops the atomic rate.
     assert!(m.fetch_add_rate(5) < m.fetch_add_rate(4));
     let ratio = m.fetch_add_rate(8) / m.fetch_add_rate(3);
-    assert!((0.8..1.25).contains(&ratio), "paper: 8 threads/2 sockets ≈ 3/1; got {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "paper: 8 threads/2 sockets ≈ 3/1; got {ratio}"
+    );
 }
 
 #[test]

@@ -16,9 +16,8 @@ fn arb_graph() -> impl Strategy<Value = (CsrGraph, VertexId)> {
     (1usize..=64).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..200);
         let root = 0..n as u32;
-        (edges, root).prop_map(move |(edges, root)| {
-            (CsrGraph::from_edges_symmetric(n, &edges), root)
-        })
+        (edges, root)
+            .prop_map(move |(edges, root)| (CsrGraph::from_edges_symmetric(n, &edges), root))
     })
 }
 

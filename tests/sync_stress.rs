@@ -84,8 +84,7 @@ fn try_send_overflow_pattern_is_lossless() {
     const ITEMS: u64 = 5_000;
     let ch: SocketChannel<u64> = SocketChannel::with_capacity(64);
     let spill: TicketLock<Vec<u64>> = TicketLock::new(Vec::new());
-    let seen: Arc<Vec<AtomicUsize>> =
-        Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+    let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
     scoped_run(3, None, |tid| match tid {
         0 => {
             // Producer: try the channel, spill what does not fit.
@@ -126,7 +125,10 @@ fn try_send_overflow_pattern_is_lossless() {
             }
         }
     });
-    assert!(seen.iter().all(|s| s.load(Ordering::SeqCst) == 1), "duplicates detected");
+    assert!(
+        seen.iter().all(|s| s.load(Ordering::SeqCst) == 1),
+        "duplicates detected"
+    );
 }
 
 #[test]
@@ -152,8 +154,10 @@ fn shared_queue_full_bfs_lifecycle() {
                 if level < 5 {
                     let children: Vec<u32> = chunk.iter().map(|&v| v.wrapping_mul(2)).collect();
                     nq.push_batch(&children);
-                    let children2: Vec<u32> =
-                        chunk.iter().map(|&v| v.wrapping_mul(2).wrapping_add(1)).collect();
+                    let children2: Vec<u32> = chunk
+                        .iter()
+                        .map(|&v| v.wrapping_mul(2).wrapping_add(1))
+                        .collect();
                     nq.push_batch(&children2);
                 }
             }

@@ -1,0 +1,61 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `utils::CachePadded` is used by this workspace (false-sharing
+//! avoidance around queue indices), so only that is provided.
+
+pub mod utils {
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) one cache line so that two
+    /// `CachePadded` values never share a line. 128 bytes covers the
+    /// adjacent-line prefetcher on modern x86 parts.
+    #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in its own cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(core::mem::align_of::<CachePadded<u8>>() >= 128);
+        let p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

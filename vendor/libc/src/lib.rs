@@ -1,0 +1,58 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of bindings it actually uses: `sched_setaffinity`
+//! and the `cpu_set_t` helpers needed by `mcbfs-sync`'s thread pinning.
+#![allow(non_camel_case_types, non_snake_case)]
+
+pub type c_int = i32;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// Maximum CPU number representable in a `cpu_set_t` (glibc default).
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// Matches glibc's `cpu_set_t`: a 1024-bit mask stored as 16 × u64.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Clears every CPU in the set.
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// Adds `cpu` to the set (no-op past `CPU_SETSIZE`, like glibc's macro).
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// Returns whether `cpu` is in the set.
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    /// Binds `pid` (0 = calling thread) to the CPUs in `mask`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test_bits() {
+        let mut set = cpu_set_t { bits: [0; 16] };
+        CPU_ZERO(&mut set);
+        CPU_SET(3, &mut set);
+        CPU_SET(64, &mut set);
+        assert!(CPU_ISSET(3, &set));
+        assert!(CPU_ISSET(64, &set));
+        assert!(!CPU_ISSET(4, &set));
+    }
+}

@@ -1,0 +1,527 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Supports the combinator subset this workspace's property tests use:
+//! `proptest!` with an optional `#![proptest_config(..)]` header, integer
+//! range strategies, `any::<T>()`, `Just`, tuple strategies,
+//! `collection::vec`, `prop_map` / `prop_flat_map`, `prop_oneof!`, and the
+//! `prop_assert*` macros. Each test case is generated from a deterministic
+//! splitmix64 stream keyed by the case index, so failures are reproducible
+//! run-to-run. There is no shrinking: a failing case reports its index and
+//! message immediately.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property does not hold.
+        Fail(String),
+        /// Case rejected (e.g. precondition unmet); not counted as failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the `case`-th test case.
+        pub fn for_case(case: u32) -> Self {
+            Self {
+                state: 0xB5AD4ECEDA1CE2A9 ^ (u64::from(case)).wrapping_mul(0x9E3779B97F4A7C15),
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Derives a second strategy from each generated value and draws
+        /// from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, for type-erased strategies.
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given alternatives; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over `T`'s full domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u32>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, 0..200)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])+ fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case #{} of {} failed: {}", case, config.cases, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=5, s in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 5);
+            let _ = s;
+        }
+
+        #[test]
+        fn tuples_and_vec((a, b) in (0u32..10, 0u32..10), v in crate::collection::vec(0u8..4, 0..20)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(pair in (1usize..50).prop_flat_map(|n| {
+            (Just(n), 0..n)
+        })) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(v in crate::collection::vec(
+            prop_oneof![Just(1u8), Just(2u8), (5u8..8).prop_map(|x| x)],
+            64..65,
+        )) {
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2 || (5..8).contains(&x)));
+            prop_assert!(v.contains(&1) || v.contains(&2), "union is never degenerate");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reconstruction() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = TestRng::for_case(7);
+        let mut r2 = TestRng::for_case(7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic [`rngs::SmallRng`] (xoshiro256**, the same
+//! family real `rand 0.8` uses for `SmallRng` on 64-bit targets) plus the
+//! `Rng`/`SeedableRng` subset the generators use: `gen::<f64>()`,
+//! `gen::<u64>()`, `gen_bool`, and `gen_range` over primitive integer
+//! ranges. Distributions are uniform; `gen_range` uses rejection-free
+//! modulo reduction, whose bias is negligible for the ranges used here and
+//! irrelevant for benchmark-workload synthesis.
+
+/// Core entropy source: raw 64/32-bit output.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+mod sample {
+    use super::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A type samplable uniformly from its full domain by `Rng::gen`.
+    pub trait Standard: Sized {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A range samplable by `Rng::gen_range`.
+    pub trait SampleRange {
+        type Output;
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl SampleRange for RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain inclusive range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+}
+
+pub use sample::{SampleRange, Standard};
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `T`'s standard distribution
+    /// (`f64`/`f32` in `[0,1)`, integers over their full domain).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic RNG — xoshiro256** seeded via
+    /// splitmix64, matching the construction real `rand` uses.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!((5..17u64).contains(&rng.gen_range(5..17u64)));
+            assert!((1..=9usize).contains(&rng.gen_range(1..=9usize)));
+            let v: u32 = rng.gen_range(0..3u32);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn range_coverage_is_rough_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hist = [0usize; 8];
+        for _ in 0..8_000 {
+            hist[rng.gen_range(0..8usize)] += 1;
+        }
+        assert!(hist.iter().all(|&c| c > 700), "{hist:?}");
+    }
+}

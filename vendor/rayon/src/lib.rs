@@ -1,0 +1,223 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements the subset this workspace uses — `par_iter()` on slices,
+//! `into_par_iter()` on `Range<usize>`, `for_each`, and ordered
+//! `flat_map_iter(..).collect()` — with genuine data parallelism: the work
+//! is split into contiguous chunks executed on scoped OS threads (one per
+//! available core, capped). Chunk results are concatenated in input order,
+//! so `collect` is deterministic regardless of scheduling — a property the
+//! generator determinism tests rely on.
+
+use std::ops::Range;
+
+fn thread_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+        .min(len.max(1))
+}
+
+/// Borrowing conversion: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Creates a parallel iterator over `&'a self`'s items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice(self)
+    }
+}
+
+/// Consuming conversion: `range.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange(self)
+    }
+}
+
+/// Parallel iterator over `&'a [T]`.
+pub struct ParSlice<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Applies `f` to every item, in parallel over contiguous chunks.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let slice = self.0;
+        let threads = thread_count(slice.len());
+        if threads <= 1 {
+            for x in slice {
+                f(x);
+            }
+            return;
+        }
+        let chunk = slice.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in slice.chunks(chunk) {
+                let f = &f;
+                s.spawn(move || {
+                    for x in part {
+                        f(x);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps each item to an iterator; the flattened output preserves item
+    /// order on `collect`.
+    pub fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<'a, T, F>
+    where
+        I: IntoIterator,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        FlatMapIter { base: self.0, f }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange(Range<usize>);
+
+impl ParRange {
+    /// Applies `f` to every index, in parallel over contiguous subranges.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let Range { start, end } = self.0;
+        let len = end.saturating_sub(start);
+        let threads = thread_count(len);
+        if threads <= 1 {
+            for i in start..end {
+                f(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut lo = start;
+            while lo < end {
+                let hi = (lo + chunk).min(end);
+                let f = &f;
+                s.spawn(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+                lo = hi;
+            }
+        });
+    }
+}
+
+/// Result of [`ParSlice::flat_map_iter`]; terminal ops run the map in
+/// parallel chunks and concatenate per-chunk outputs in order.
+pub struct FlatMapIter<'a, T, F> {
+    base: &'a [T],
+    f: F,
+}
+
+impl<'a, T, I, F> FlatMapIter<'a, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'a T) -> I + Sync,
+{
+    /// Collects the flattened outputs, preserving input order.
+    pub fn collect<C: From<Vec<I::Item>>>(self) -> C {
+        let slice = self.base;
+        let f = self.f;
+        let threads = thread_count(slice.len());
+        if threads <= 1 {
+            let mut out = Vec::new();
+            for x in slice {
+                out.extend(f(x));
+            }
+            return C::from(out);
+        }
+        let chunk = slice.len().div_ceil(threads);
+        let parts: Vec<Vec<I::Item>> = std::thread::scope(|s| {
+            let handles: Vec<_> = slice
+                .chunks(chunk)
+                .map(|part| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut v = Vec::new();
+                        for x in part {
+                            v.extend(f(x));
+                        }
+                        v
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-stub worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_each_visits_every_item() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let sum = AtomicUsize::new(0);
+        data.par_iter().for_each(|&x| {
+            sum.fetch_add(x as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn range_for_each_visits_every_index() {
+        let hits: Vec<AtomicUsize> = (0..1_000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1_000).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn flat_map_collect_preserves_order() {
+        let data: Vec<u32> = (0..5_000).collect();
+        let out: Vec<u32> = data
+            .par_iter()
+            .flat_map_iter(|&x| [x * 2, x * 2 + 1])
+            .collect();
+        let expect: Vec<u32> = (0..10_000).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let data: Vec<u32> = Vec::new();
+        data.par_iter().for_each(|_| panic!("no items"));
+        let out: Vec<u32> = data.par_iter().flat_map_iter(|&x| Some(x)).collect();
+        assert!(out.is_empty());
+        (0..0).into_par_iter().for_each(|_| panic!("no indices"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (the owned `Value`-tree model) by walking raw token trees — no
+//! `syn`/`quote`, which are unavailable offline. Supported shapes, which
+//! cover everything this workspace derives:
+//!
+//! * structs with named fields (any visibility, `#[...]` attributes
+//!   ignored),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string, serde's externally-tagged convention).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error naming this stub.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let kind;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _attr = iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = s;
+                    break;
+                }
+                // `pub` or similar; a following `(crate)` group is skipped
+                // by the attribute/group arm below if present.
+            }
+            Some(TokenTree::Group(_)) => {} // `(crate)` of pub(crate)
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub: generic type `{name}` is not supported")
+            }
+            Some(_) => {}
+            None => {
+                panic!("serde_derive stub: `{name}` has no braced body (tuple structs unsupported)")
+            }
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body.stream(), &name))
+    } else {
+        Shape::Enum(parse_unit_variants(body.stream(), &name))
+    };
+    Input { name, shape }
+}
+
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _attr = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next(); // (crate) / (super)
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde_derive stub: unexpected token {other:?} in fields of `{name}`")
+                }
+                None => return fields,
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive stub: expected `:` after field `{field}` of `{name}`, got {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Consume the type: everything until a comma at angle-bracket
+        // depth 0 (generic arguments like Vec<T> contain no top-level
+        // commas in this workspace's types).
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _attr = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: enum `{name}` has a data-carrying variant, \
+                 only unit variants are supported"
+            ),
+            Some(other) => {
+                panic!("serde_derive stub: unexpected token {other:?} in enum `{name}`")
+            }
+            None => return variants,
+        }
+    }
+}
+
+/// Derives the stub `serde::Serialize` (render into a `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` (rebuild from a `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing(\"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::serde::Value::Str(s) if s == \"{v}\" => \
+                         ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ {} other => ::std::result::Result::Err(\
+                 ::serde::Error::mismatch(\"{name} variant\", other)), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl parses")
+}
