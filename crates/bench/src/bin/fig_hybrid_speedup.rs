@@ -22,10 +22,13 @@ use mcbfs_bench::report::Report;
 use mcbfs_bench::workloads::{rate_cases, Family};
 use mcbfs_core::algo::hybrid::{bfs_hybrid, HybridOpts};
 use mcbfs_core::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
+use mcbfs_core::runner::{Algorithm, BfsRunner};
 use mcbfs_core::simexec::{simulate, simulate_hybrid, VariantConfig};
 use mcbfs_gen::prelude::*;
 use mcbfs_graph::csr::CsrGraph;
 use mcbfs_machine::model::MachineModel;
+use std::io::Write;
+use std::path::Path;
 
 fn build_workloads(args: &Args) -> Vec<(&'static str, CsrGraph)> {
     let rmat = rate_cases(Family::Rmat, args.scale)[0].build();
@@ -35,6 +38,35 @@ fn build_workloads(args: &Args) -> Vec<(&'static str, CsrGraph)> {
     let n = rmat.num_vertices();
     let ssca2 = Ssca2Builder::new(n).seed(7).build();
     vec![("rmat", rmat), ("uniform", uniform), ("ssca2", ssca2)]
+}
+
+/// Re-runs the hybrid search traced and appends its JSONL record stream
+/// (one run header + one record per level per thread) to `path` — the
+/// per-level wait-time detail behind the aggregate TEPS rows.
+fn append_metrics(path: &Path, family: &str, graph: &CsrGraph, threads: &[usize]) {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+    for &t in threads {
+        let result = BfsRunner::new(graph)
+            .algorithm(Algorithm::hybrid())
+            .threads(t)
+            .traced(true)
+            .run(0);
+        let Some(trace) = result.trace.as_ref() else {
+            eprintln!("# --metrics ignored: built without the `trace` feature");
+            return;
+        };
+        file.write_all(mcbfs_trace::to_jsonl(trace).as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!(
+            "# {family} x{t}: appended {} level spans to {}",
+            trace.level_span_count(),
+            path.display()
+        );
+    }
 }
 
 fn main() {
@@ -119,6 +151,9 @@ fn main() {
                     "MTEPS",
                 );
             }
+        }
+        if let Some(path) = &args.metrics {
+            append_metrics(path, family, &graph, &threads);
         }
     }
     report.finish(&args.out);

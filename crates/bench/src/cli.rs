@@ -8,6 +8,7 @@
 //! --threads 1,2,4,...   override the thread sweep
 //! --out PATH            write JSON rows to PATH (default: results/<exp>.json)
 //! --no-json             skip the JSON dump
+//! --metrics PATH        append per-level trace JSONL from traced runs
 //! ```
 
 use std::path::PathBuf;
@@ -55,6 +56,10 @@ pub struct Args {
     pub threads: Option<Vec<usize>>,
     /// JSON output path (`None` disables the dump).
     pub out: Option<PathBuf>,
+    /// Trace-metrics JSONL path: binaries that support it run traced and
+    /// append one `mcbfs-trace` record stream per run (`None` disables
+    /// tracing).
+    pub metrics: Option<PathBuf>,
 }
 
 impl Args {
@@ -72,6 +77,7 @@ impl Args {
             mode: Mode::Model,
             threads: None,
             out: Some(PathBuf::from(format!("results/{experiment}.json"))),
+            metrics: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -107,6 +113,12 @@ impl Args {
                     ))
                 }
                 "--no-json" => out.out = None,
+                "--metrics" => {
+                    out.metrics =
+                        Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                            usage(experiment, "missing --metrics path")
+                        })))
+                }
                 "--help" | "-h" => usage(experiment, ""),
                 other => usage(experiment, &format!("unknown flag {other:?}")),
             }
@@ -121,7 +133,7 @@ fn usage(experiment: &str, err: &str) -> ! {
     }
     eprintln!(
         "usage: {experiment} [--scale small|paper] [--mode model|native|both] \
-         [--threads 1,2,4] [--out PATH] [--no-json]"
+         [--threads 1,2,4] [--out PATH] [--no-json] [--metrics PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -140,7 +152,14 @@ mod tests {
         assert_eq!(a.scale, Scale::Small);
         assert_eq!(a.mode, Mode::Model);
         assert!(a.threads.is_none());
+        assert!(a.metrics.is_none());
         assert_eq!(a.out.unwrap().to_str().unwrap(), "results/test.json");
+    }
+
+    #[test]
+    fn metrics_flag_sets_path() {
+        let a = parse(&["--metrics", "/tmp/m.jsonl"]);
+        assert_eq!(a.metrics.unwrap().to_str().unwrap(), "/tmp/m.jsonl");
     }
 
     #[test]

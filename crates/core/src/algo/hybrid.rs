@@ -39,6 +39,7 @@ use mcbfs_machine::profile::{Direction, ThreadCounts};
 use mcbfs_sync::barrier::SpinBarrier;
 use mcbfs_sync::pool::scoped_run;
 use mcbfs_sync::ticket::TicketLock;
+use mcbfs_trace::{EventKind, SpanTimer};
 use std::time::Instant;
 
 /// Direction policy: the heuristic plus three forcing modes for ablation.
@@ -147,6 +148,7 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
 
     let start = Instant::now();
     scoped_run(threads, None, |tid| {
+        mcbfs_trace::register_worker(tid);
         let mut series: Vec<ThreadCounts> = Vec::new();
         let mut parity = 0usize;
         let mut dir = initial_dir;
@@ -156,6 +158,8 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
         let mut carry = ThreadCounts::default();
         let mut buffer: Vec<VertexId> = Vec::with_capacity(ENQUEUE_BATCH);
         loop {
+            let level_index = series.len() as u64;
+            let level_span = SpanTimer::start();
             let mut counts = core::mem::take(&mut carry);
             let mut my_found = 0u64;
             let mut my_found_edges = 0u64;
@@ -264,8 +268,12 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
                 directions.lock().push(dir_of(dir));
                 sparse[parity].reset();
                 dense[parity].reset();
+                if decided != dir && n_f != 0 {
+                    mcbfs_trace::instant(EventKind::DirectionSwitch, decided as u64);
+                }
             }
             barrier.wait();
+            level_span.finish(EventKind::Level, level_index);
             let decided = next_dir.load(Ordering::Relaxed);
             if done.load(Ordering::Relaxed) {
                 break;
@@ -275,6 +283,7 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
             // other one. All threads compute the same predicate, so the
             // extra barrier stays uniform.
             if dir != decided {
+                let convert_span = SpanTimer::start();
                 if decided == BOTTOM_UP {
                     let converted = sparse[1 - parity].densify_chunk(
                         dense[1 - parity].as_bitmap(),
@@ -292,12 +301,14 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
                     carry.atomic_ops += 1; // batch reservation
                 }
                 barrier.wait();
+                convert_span.finish(EventKind::Convert, decided as u64);
             }
             parity = 1 - parity;
             dir = decided;
         }
         *edge_total.lock() += local_edges;
         recorder.deposit(tid, series);
+        mcbfs_trace::flush_thread();
     });
     let seconds = start.elapsed().as_secs_f64();
     let edges_traversed = edge_total.into_inner();

@@ -34,6 +34,7 @@ use mcbfs_sync::channel::ChannelMatrix;
 use mcbfs_sync::pool::scoped_run;
 use mcbfs_sync::ticket::TicketLock;
 use mcbfs_sync::workq::SharedQueue;
+use mcbfs_trace::{EventKind, SpanTimer};
 use std::time::Instant;
 
 /// A `(vertex, parent)` tuple travelling through an inter-socket channel —
@@ -118,6 +119,7 @@ pub fn bfs_multi_socket(
 
     let start = Instant::now();
     scoped_run(threads, None, |tid| {
+        mcbfs_trace::register_worker(tid);
         let this = socket_of_thread(tid);
         let mut series: Vec<ThreadCounts> = Vec::new();
         let mut parity = 0usize;
@@ -159,6 +161,8 @@ pub fn bfs_multi_socket(
         };
 
         loop {
+            let level_index = series.len() as u64;
+            let level_span = SpanTimer::start();
             let cq = &queues[parity][this];
             let nq = &queues[1 - parity][this];
             let mut counts = ThreadCounts::default();
@@ -235,6 +239,7 @@ pub fn bfs_multi_socket(
                 done.store(next_empty, Ordering::Release);
             }
             barrier.wait();
+            level_span.finish(EventKind::Level, level_index);
             parity = 1 - parity;
             if done.load(Ordering::Acquire) {
                 break;
@@ -242,6 +247,7 @@ pub fn bfs_multi_socket(
         }
         *edge_total.lock() += local_edges;
         recorder.deposit(tid, series);
+        mcbfs_trace::flush_thread();
     });
     let seconds = start.elapsed().as_secs_f64();
     let edges_traversed = edge_total.into_inner();

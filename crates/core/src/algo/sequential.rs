@@ -10,6 +10,7 @@ use crate::algo::NativeRun;
 use crate::instrument::Recorder;
 use mcbfs_graph::csr::{CsrGraph, VertexId, UNVISITED};
 use mcbfs_machine::profile::ThreadCounts;
+use mcbfs_trace::{EventKind, SpanTimer};
 use std::time::Instant;
 
 /// Runs a sequential BFS from `root`, with the same instrumentation and
@@ -28,7 +29,10 @@ pub fn bfs_sequential(graph: &CsrGraph, root: VertexId) -> NativeRun {
     let mut levels: Vec<ThreadCounts> = Vec::new();
     let mut visited = 1u64;
     let mut edges_traversed = 0u64;
+    mcbfs_trace::register_worker(0);
     while !current.is_empty() {
+        let level_index = levels.len() as u64;
+        let level_span = SpanTimer::start();
         let mut counts = ThreadCounts::default();
         for &u in &current {
             counts.vertices_scanned += 1;
@@ -50,10 +54,12 @@ pub fn bfs_sequential(graph: &CsrGraph, root: VertexId) -> NativeRun {
         levels.push(counts);
         core::mem::swap(&mut current, &mut next);
         next.clear();
+        level_span.finish(EventKind::Level, level_index);
     }
     let seconds = start.elapsed().as_secs_f64();
     let recorder = Recorder::new(1, 1, 0);
     recorder.deposit(0, levels);
+    mcbfs_trace::flush_thread();
     let profile = recorder.into_profile(n as u64, (n as u64).div_ceil(8), false, edges_traversed);
     NativeRun {
         parents,

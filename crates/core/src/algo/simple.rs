@@ -18,6 +18,7 @@ use mcbfs_sync::barrier::SpinBarrier;
 use mcbfs_sync::pool::scoped_run;
 use mcbfs_sync::ticket::TicketLock;
 use mcbfs_sync::workq::LockedQueue;
+use mcbfs_trace::{EventKind, SpanTimer};
 use std::time::Instant;
 
 /// Runs Algorithm 1 from `root` on `threads` worker threads.
@@ -37,10 +38,13 @@ pub fn bfs_simple(graph: &CsrGraph, root: VertexId, threads: usize) -> NativeRun
 
     let start = Instant::now();
     scoped_run(threads, None, |tid| {
+        mcbfs_trace::register_worker(tid);
         let mut series: Vec<ThreadCounts> = Vec::new();
         let mut parity = 0usize;
         let mut local_edges = 0u64;
         loop {
+            let level_index = series.len() as u64;
+            let level_span = SpanTimer::start();
             let cq = &queues[parity];
             let nq = &queues[1 - parity];
             let mut counts = ThreadCounts::default();
@@ -69,6 +73,7 @@ pub fn bfs_simple(graph: &CsrGraph, root: VertexId, threads: usize) -> NativeRun
                 done.store(nq.is_empty(), Ordering::Release);
             }
             barrier.wait();
+            level_span.finish(EventKind::Level, level_index);
             parity = 1 - parity;
             if done.load(Ordering::Acquire) {
                 break;
@@ -76,6 +81,7 @@ pub fn bfs_simple(graph: &CsrGraph, root: VertexId, threads: usize) -> NativeRun
         }
         *deposits.lock() += local_edges;
         recorder.deposit(tid, series);
+        mcbfs_trace::flush_thread();
     });
     let seconds = start.elapsed().as_secs_f64();
     let edges_traversed = deposits.into_inner();

@@ -24,6 +24,7 @@ use mcbfs_sync::barrier::SpinBarrier;
 use mcbfs_sync::pool::scoped_run;
 use mcbfs_sync::ticket::TicketLock;
 use mcbfs_sync::workq::SharedQueue;
+use mcbfs_trace::{EventKind, SpanTimer};
 use std::time::Instant;
 
 /// Ablation switches for Algorithm 2.
@@ -84,11 +85,14 @@ pub fn bfs_single_socket(
 
     let start = Instant::now();
     scoped_run(threads, None, |tid| {
+        mcbfs_trace::register_worker(tid);
         let mut series: Vec<ThreadCounts> = Vec::new();
         let mut parity = 0usize;
         let mut local_edges = 0u64;
         let mut buffer: Vec<VertexId> = Vec::with_capacity(ENQUEUE_BATCH);
         loop {
+            let level_index = series.len() as u64;
+            let level_span = SpanTimer::start();
             let cq = &queues[parity];
             let nq = &queues[1 - parity];
             let mut counts = ThreadCounts::default();
@@ -179,6 +183,7 @@ pub fn bfs_single_socket(
                 cq.reset();
             }
             barrier.wait();
+            level_span.finish(EventKind::Level, level_index);
             parity = 1 - parity;
             if done.load(Ordering::Acquire) {
                 break;
@@ -186,6 +191,7 @@ pub fn bfs_single_socket(
         }
         *edge_total.lock() += local_edges;
         recorder.deposit(tid, series);
+        mcbfs_trace::flush_thread();
     });
     let seconds = start.elapsed().as_secs_f64();
     let edges_traversed = edge_total.into_inner();

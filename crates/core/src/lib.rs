@@ -37,6 +37,7 @@ pub mod algo;
 pub mod components;
 pub mod instrument;
 pub mod kernel;
+pub mod observe;
 pub mod runner;
 pub mod simexec;
 pub mod stcon;

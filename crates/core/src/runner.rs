@@ -7,10 +7,12 @@ use crate::algo::sequential::bfs_sequential;
 use crate::algo::simple::bfs_simple;
 use crate::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
 use crate::instrument::{stats_from_profile, BfsStats};
+use crate::observe;
 use crate::simexec::{simulate, simulate_hybrid, VariantConfig};
 use mcbfs_graph::csr::{CsrGraph, VertexId};
 use mcbfs_machine::model::MachineModel;
 use mcbfs_machine::profile::WorkProfile;
+use mcbfs_trace::Trace;
 
 /// Which of the paper's algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +89,9 @@ pub struct BfsResult {
     pub stats: BfsStats,
     /// The full per-level, per-thread operation profile.
     pub profile: WorkProfile,
+    /// Collected event trace when the runner was [`BfsRunner::traced`] and
+    /// the `trace` feature is compiled in; `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 /// Builder-style runner.
@@ -110,17 +115,19 @@ pub struct BfsRunner<'g> {
     algorithm: Algorithm,
     threads: usize,
     mode: ExecMode,
+    trace: bool,
 }
 
 impl<'g> BfsRunner<'g> {
     /// A runner for `graph` with defaults: Algorithm 2, one thread, native
-    /// execution.
+    /// execution, no tracing.
     pub fn new(graph: &'g CsrGraph) -> Self {
         Self {
             graph,
             algorithm: Algorithm::SingleSocket,
             threads: 1,
             mode: ExecMode::Native,
+            trace: false,
         }
     }
 
@@ -142,8 +149,67 @@ impl<'g> BfsRunner<'g> {
         self
     }
 
+    /// Enables event tracing: the run opens an `mcbfs-trace` session and
+    /// [`BfsResult::trace`] carries the collected events (None when the
+    /// `trace` feature is compiled out).
+    pub fn traced(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Worker threads the selected algorithm will actually use.
+    fn effective_threads(&self) -> usize {
+        match self.algorithm {
+            Algorithm::Sequential => 1,
+            Algorithm::MultiSocket { sockets } => self.threads.max(sockets),
+            _ => self.threads,
+        }
+    }
+
+    fn algorithm_label(&self) -> String {
+        match self.algorithm {
+            Algorithm::Sequential => "sequential".to_string(),
+            Algorithm::Simple => "simple".to_string(),
+            Algorithm::SingleSocket => "single-socket".to_string(),
+            Algorithm::MultiSocket { sockets } => format!("multi-socket:{sockets}"),
+            Algorithm::Hybrid { policy } => format!(
+                "hybrid:{}",
+                match policy {
+                    ForcedDirection::Auto => "auto",
+                    ForcedDirection::TopDown => "td",
+                    ForcedDirection::BottomUp => "bu",
+                    ForcedDirection::Alternate => "alternate",
+                }
+            ),
+        }
+    }
+
     /// Runs BFS from `root`.
     pub fn run(&self, root: VertexId) -> BfsResult {
+        if self.trace {
+            mcbfs_trace::start(mcbfs_trace::RunMeta {
+                label: format!(
+                    "n={} m={} root={root}",
+                    self.graph.num_vertices(),
+                    self.graph.num_edges()
+                ),
+                algorithm: self.algorithm_label(),
+                mode: match self.mode {
+                    ExecMode::Native => "native".to_string(),
+                    ExecMode::Model(_) => "model".to_string(),
+                },
+                threads: self.effective_threads(),
+            });
+        }
+        let mut result = self.run_inner(root);
+        if self.trace {
+            mcbfs_trace::record_level_meta(observe::level_meta(&result.profile));
+            result.trace = mcbfs_trace::finish();
+        }
+        result
+    }
+
+    fn run_inner(&self, root: VertexId) -> BfsResult {
         match &self.mode {
             ExecMode::Native => {
                 let run = match self.algorithm {
@@ -173,6 +239,7 @@ impl<'g> BfsRunner<'g> {
                     parents: run.parents,
                     stats,
                     profile: run.profile,
+                    trace: None,
                 }
             }
             ExecMode::Model(model) => {
@@ -187,11 +254,18 @@ impl<'g> BfsRunner<'g> {
                     simulate(self.graph, root, threads, self.algorithm.variant_config())
                 };
                 let prediction = model.predict(&sim.profile);
+                if self.trace {
+                    // The simulated timeline goes through the same trace
+                    // pipeline as native runs: one level span per virtual
+                    // thread per level, idle tails as barrier waits.
+                    observe::inject_model_timeline(&sim.profile, &prediction.level_seconds);
+                }
                 let stats = stats_from_profile(&sim.profile, prediction.seconds, sim.visited);
                 BfsResult {
                     parents: sim.parents,
                     stats,
                     profile: sim.profile,
+                    trace: None,
                 }
             }
         }

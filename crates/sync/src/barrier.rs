@@ -10,6 +10,8 @@
 use core::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::hint;
 
+use mcbfs_trace::{EventKind, SpanTimer};
+
 /// A reusable centralized sense-reversing spin barrier.
 ///
 /// Unlike `std::sync::Barrier` this never parks threads on the happy path,
@@ -60,6 +62,7 @@ impl SpinBarrier {
     /// Returns `true` for exactly one caller per episode (the last arriver),
     /// mirroring `std::sync::BarrierWaitResult::is_leader`.
     pub fn wait(&self) -> bool {
+        let wait = SpanTimer::start();
         let local_sense = !self.sense.load(Ordering::Relaxed);
         let pos = self.arrived.fetch_add(1, Ordering::AcqRel);
         if pos + 1 == self.parties {
@@ -68,6 +71,7 @@ impl SpinBarrier {
             self.arrived.store(0, Ordering::Relaxed);
             self.episodes.fetch_add(1, Ordering::Relaxed);
             self.sense.store(local_sense, Ordering::Release);
+            wait.finish(EventKind::BarrierWait, 1);
             true
         } else {
             let mut spins = 0u32;
@@ -79,6 +83,7 @@ impl SpinBarrier {
                     std::thread::yield_now();
                 }
             }
+            wait.finish(EventKind::BarrierWait, 0);
             false
         }
     }

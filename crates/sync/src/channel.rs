@@ -13,6 +13,8 @@ use crate::fastforward::{Consumer, FastForward, Full, Producer};
 use crate::ticket::TicketLock;
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use mcbfs_trace::{EventKind, SpanTimer};
+
 /// Default number of elements a [`BatchBuffer`] accumulates before flushing.
 ///
 /// The paper does not publish the exact batch size; 256 elements of 8 bytes
@@ -68,6 +70,8 @@ impl<T> SocketChannel<T> {
     /// Spins while the ring is full; receivers are never blocked by this
     /// (the consumer endpoint has its own lock).
     pub fn send_batch<I: IntoIterator<Item = T>>(&self, batch: I) {
+        let send = SpanTimer::start();
+        let mut stalls = 0u64;
         let mut tx = self.tx.lock();
         let mut n = 0usize;
         for v in batch {
@@ -78,6 +82,7 @@ impl<T> SocketChannel<T> {
                     Ok(()) => break,
                     Err(Full(back)) => {
                         v = back;
+                        stalls += 1;
                         spins += 1;
                         if spins > 128 {
                             // Oversubscribed host: the consumer needs CPU
@@ -95,6 +100,16 @@ impl<T> SocketChannel<T> {
         if n > 0 {
             self.pending.fetch_add(n, Ordering::Release);
             self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        send.finish(EventKind::ChannelSend, n as u64);
+        if send.is_armed() {
+            if stalls > 0 {
+                mcbfs_trace::instant(EventKind::ChannelStall, stalls);
+            }
+            mcbfs_trace::instant(
+                EventKind::ChannelOccupancy,
+                self.pending.load(Ordering::Relaxed) as u64,
+            );
         }
     }
 
@@ -133,11 +148,15 @@ impl<T> SocketChannel<T> {
     /// Receives up to `max` elements into `out`, taking the consumer lock
     /// once. Returns the number of elements appended.
     pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let recv = SpanTimer::start();
         let mut rx = self.rx.lock();
         let n = rx.pop_into(out, max);
         drop(rx);
         if n > 0 {
             self.pending.fetch_sub(n, Ordering::Release);
+            // Empty polls are not recorded: phase 2 of Algorithm 3 polls
+            // in a loop and would flood the trace with no-op drains.
+            recv.finish(EventKind::ChannelRecv, n as u64);
         }
         n
     }

@@ -13,6 +13,8 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::UnsafeCell;
 use std::ptr;
 
+use mcbfs_trace::{EventKind, SpanTimer};
+
 /// A waiter's queue node. Stack-allocated by the caller of
 /// [`McsLock::lock`]; must live until the guard is dropped (enforced by
 /// the borrow in the guard).
@@ -86,6 +88,7 @@ impl<T> McsLock<T> {
 impl<T: ?Sized> McsLock<T> {
     /// Acquires the lock using `node` as this thread's queue entry.
     pub fn lock<'a>(&'a self, node: &'a mut McsNode) -> McsGuard<'a, T> {
+        let wait = SpanTimer::start();
         node.next.store(ptr::null_mut(), Ordering::Relaxed);
         node.locked.store(true, Ordering::Relaxed);
         let node_ptr: *mut McsNode = node;
@@ -105,9 +108,11 @@ impl<T: ?Sized> McsLock<T> {
                 }
             }
         }
+        wait.finish(EventKind::LockWait, 0);
         McsGuard {
             lock: self,
             node: node_ptr,
+            hold: SpanTimer::start(),
         }
     }
 
@@ -121,6 +126,8 @@ impl<T: ?Sized> McsLock<T> {
 pub struct McsGuard<'a, T: ?Sized> {
     lock: &'a McsLock<T>,
     node: *mut McsNode,
+    /// Times the hold; recorded as a `LockHold` span when the guard drops.
+    hold: SpanTimer,
 }
 
 impl<T: ?Sized> core::ops::Deref for McsGuard<'_, T> {
@@ -140,6 +147,7 @@ impl<T: ?Sized> core::ops::DerefMut for McsGuard<'_, T> {
 
 impl<T: ?Sized> Drop for McsGuard<'_, T> {
     fn drop(&mut self) {
+        self.hold.finish(EventKind::LockHold, 0);
         // SAFETY: `self.node` is our own queued node, alive for the guard's
         // lifetime by construction.
         let node = unsafe { &*self.node };

@@ -13,6 +13,8 @@ use core::sync::atomic::{AtomicU32, Ordering};
 use std::cell::UnsafeCell;
 use std::hint;
 
+use mcbfs_trace::{EventKind, SpanTimer};
+
 /// A fair FIFO spin lock protecting a value of type `T`.
 ///
 /// # Examples
@@ -67,6 +69,7 @@ impl<T> TicketLock<T> {
 impl<T: ?Sized> TicketLock<T> {
     /// Acquires the lock, spinning until it is granted in FIFO order.
     pub fn lock(&self) -> TicketGuard<'_, T> {
+        let wait = SpanTimer::start();
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut spins = 0u32;
         while self.now_serving.load(Ordering::Acquire) != ticket {
@@ -84,7 +87,11 @@ impl<T: ?Sized> TicketLock<T> {
                 std::thread::yield_now();
             }
         }
-        TicketGuard { lock: self }
+        wait.finish(EventKind::LockWait, 0);
+        TicketGuard {
+            lock: self,
+            hold: SpanTimer::start(),
+        }
     }
 
     /// Attempts to acquire the lock without spinning.
@@ -101,7 +108,10 @@ impl<T: ?Sized> TicketLock<T> {
             Ordering::Acquire,
             Ordering::Relaxed,
         ) {
-            Ok(_) => Some(TicketGuard { lock: self }),
+            Ok(_) => Some(TicketGuard {
+                lock: self,
+                hold: SpanTimer::start(),
+            }),
             Err(_) => None,
         }
     }
@@ -141,6 +151,8 @@ impl<T: ?Sized + core::fmt::Debug> core::fmt::Debug for TicketLock<T> {
 /// RAII guard: the lock is released (handed to the next ticket) on drop.
 pub struct TicketGuard<'a, T: ?Sized> {
     lock: &'a TicketLock<T>,
+    /// Times the hold; recorded as a `LockHold` span when the guard drops.
+    hold: SpanTimer,
 }
 
 impl<T: ?Sized> core::ops::Deref for TicketGuard<'_, T> {
@@ -160,6 +172,7 @@ impl<T: ?Sized> core::ops::DerefMut for TicketGuard<'_, T> {
 
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
+        self.hold.finish(EventKind::LockHold, 0);
         // Hand the lock to the next ticket in FIFO order.
         let next = self
             .lock

@@ -1,0 +1,207 @@
+//! Fixed-bucket log2 histograms for wait times.
+//!
+//! 65 buckets: bucket 0 holds exact zeros, bucket `k` (1..=64) holds values
+//! in `[2^(k-1), 2^k)`. Recording is branch-light (`leading_zeros` + array
+//! increment) and merging is component-wise, so per-thread histograms can
+//! be folded without locks.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`, so 1 maps
+/// to bucket 1 (`[1,2)`) and `u64::MAX` to bucket 64 (`[2^63, 2^64)`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (0 for bucket 0, else `2^(i-1)`).
+pub fn bucket_low(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A log2 histogram with exact count/total/max side-channels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Serializable summary with trailing zero buckets trimmed.
+    pub fn summary(&self) -> HistSummary {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        HistSummary {
+            count: self.count,
+            total_ns: self.total,
+            max_ns: self.max,
+            buckets: self.buckets[..last].to_vec(),
+        }
+    }
+}
+
+/// Flat, schema-stable form of a [`Log2Histogram`] for the JSONL exporter.
+/// `buckets[i]` is the count for log2 bucket `i` (see [`bucket_index`]);
+/// trailing zero buckets are omitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples, nanoseconds.
+    pub total_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Log2 bucket counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_max() {
+        // The three edge cases named in the issue.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Boundaries between buckets.
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_low_matches_index() {
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_low(1), 1);
+        assert_eq!(bucket_low(2), 2);
+        assert_eq!(bucket_low(64), 1 << 63);
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_low(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_total_max() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 7, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total(), 1033);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 2); // the two ones
+        assert_eq!(h.buckets()[3], 1); // 7 in [4,8)
+        assert_eq!(h.buckets()[11], 1); // 1024 in [1024,2048)
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets()[64], 2);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), 106);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.buckets()[2], 2);
+    }
+
+    #[test]
+    fn summary_trims_trailing_zeros() {
+        let mut h = Log2Histogram::new();
+        h.record(5); // bucket 3
+        let s = h.summary();
+        assert_eq!(s.buckets.len(), 4);
+        assert_eq!(s.buckets, vec![0, 0, 0, 1]);
+        assert_eq!(s.count, 1);
+        assert_eq!(Log2Histogram::new().summary().buckets.len(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Flat JSONL metrics exporter: one schema-versioned record per line.
+//!
+//! Line 1 is a [`RunRecord`] describing the run; every following line is a
+//! [`LevelRecord`] — one per level per thread — carrying the level span
+//! duration plus log2 histograms of the barrier and lock waits that
+//! occurred inside that span. This is the machine-readable stream the
+//! bench harness appends to; downstream tooling should dispatch on the
+//! `kind` field and check `schema` before trusting anything.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventKind;
+use crate::hist::{HistSummary, Log2Histogram};
+use crate::session::Trace;
+
+/// Schema tag written into every record. Bump on any breaking change.
+pub const SCHEMA: &str = "mcbfs-trace-v1";
+
+/// First line of a metrics stream: run identity and totals.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Always `"run"`.
+    pub kind: String,
+    /// Free-form run label.
+    pub label: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// `"native"` or `"model"`.
+    pub mode: String,
+    /// Configured worker threads.
+    pub threads: u64,
+    /// BFS levels executed.
+    pub levels: u64,
+    /// Total level spans across threads (the parity quantity).
+    pub level_spans: u64,
+    /// Events lost to per-thread buffer overflow.
+    pub dropped_events: u64,
+}
+
+/// One BFS level on one thread.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelRecord {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Always `"level"`.
+    pub kind: String,
+    /// Level index.
+    pub level: u64,
+    /// Worker thread id.
+    pub tid: u64,
+    /// `"td"` or `"bu"`.
+    pub direction: String,
+    /// Frontier size of this level (whole level, not per thread).
+    pub frontier: u64,
+    /// Edges scanned in this level (whole level, not per thread).
+    pub edges_scanned: u64,
+    /// This thread's level span duration, nanoseconds.
+    pub span_ns: u64,
+    /// Barrier waits that started inside this thread's level span.
+    pub barrier_wait: HistSummary,
+    /// Lock waits that started inside this thread's level span.
+    pub lock_wait: HistSummary,
+}
+
+/// A parsed metrics line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// The stream header.
+    Run(RunRecord),
+    /// A per-level, per-thread record.
+    Level(LevelRecord),
+}
+
+/// Parses one line of a metrics stream, checking the schema tag.
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    // The two record shapes have disjoint required fields, so trying them
+    // in order is unambiguous.
+    if let Ok(r) = serde_json::from_str::<LevelRecord>(line) {
+        if r.schema != SCHEMA {
+            return Err(format!("unknown schema {:?}", r.schema));
+        }
+        return Ok(Record::Level(r));
+    }
+    match serde_json::from_str::<RunRecord>(line) {
+        Ok(r) if r.schema == SCHEMA => Ok(Record::Run(r)),
+        Ok(r) => Err(format!("unknown schema {:?}", r.schema)),
+        Err(e) => Err(format!("unparseable metrics line: {e}")),
+    }
+}
+
+/// Renders a trace as a JSONL metrics stream (trailing newline included).
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    let header = RunRecord {
+        schema: SCHEMA.into(),
+        kind: "run".into(),
+        label: trace.meta.label.clone(),
+        algorithm: trace.meta.algorithm.clone(),
+        mode: trace.meta.mode.clone(),
+        threads: trace.meta.threads as u64,
+        levels: trace.levels.len() as u64,
+        level_spans: trace.level_span_count() as u64,
+        dropped_events: trace.dropped_events(),
+    };
+    out.push_str(&serde_json::to_string(&header).expect("serializable"));
+    out.push('\n');
+
+    for t in &trace.threads {
+        for span in t.events.iter().filter(|e| e.kind == EventKind::Level) {
+            let end = span.start_ns.saturating_add(span.dur_ns);
+            let mut barrier = Log2Histogram::new();
+            let mut lock = Log2Histogram::new();
+            for e in &t.events {
+                if e.start_ns < span.start_ns || e.start_ns >= end.max(span.start_ns + 1) {
+                    continue;
+                }
+                match e.kind {
+                    EventKind::BarrierWait => barrier.record(e.dur_ns),
+                    EventKind::LockWait => lock.record(e.dur_ns),
+                    _ => {}
+                }
+            }
+            let lvl = span.arg as usize;
+            let meta = trace.levels.get(lvl);
+            let rec = LevelRecord {
+                schema: SCHEMA.into(),
+                kind: "level".into(),
+                level: span.arg,
+                tid: t.tid as u64,
+                direction: meta.map(|m| m.direction.clone()).unwrap_or_default(),
+                frontier: meta.map(|m| m.frontier).unwrap_or(0),
+                edges_scanned: meta.map(|m| m.edges_scanned).unwrap_or(0),
+                span_ns: span.dur_ns,
+                barrier_wait: barrier.summary(),
+                lock_wait: lock.summary(),
+            };
+            out.push_str(&serde_json::to_string(&rec).expect("serializable"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::session::{LevelMeta, RunMeta, ThreadTrace};
+
+    fn sample_trace() -> Trace {
+        Trace {
+            meta: RunMeta {
+                label: "uniform-9".into(),
+                algorithm: "single-socket".into(),
+                mode: "model".into(),
+                threads: 1,
+            },
+            levels: vec![LevelMeta {
+                level: 0,
+                direction: "td".into(),
+                frontier: 42,
+                edges_scanned: 399,
+            }],
+            threads: vec![ThreadTrace {
+                tid: 3,
+                events: vec![
+                    TraceEvent {
+                        start_ns: 0,
+                        dur_ns: 10_000,
+                        kind: EventKind::Level,
+                        arg: 0,
+                    },
+                    TraceEvent {
+                        start_ns: 1_000,
+                        dur_ns: 700,
+                        kind: EventKind::BarrierWait,
+                        arg: 0,
+                    },
+                    TraceEvent {
+                        start_ns: 5_000,
+                        dur_ns: 90,
+                        kind: EventKind::LockWait,
+                        arg: 0,
+                    },
+                    // Starts after the level span ends: must not be folded
+                    // into the level's histograms.
+                    TraceEvent {
+                        start_ns: 20_000,
+                        dur_ns: 1,
+                        kind: EventKind::BarrierWait,
+                        arg: 0,
+                    },
+                ],
+                dropped: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn stream_has_header_then_level_records() {
+        let text = to_jsonl(&sample_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        let Record::Run(run) = parse_line(lines[0]).unwrap() else {
+            panic!("first line must be the run header");
+        };
+        assert_eq!(run.schema, SCHEMA);
+        assert_eq!(run.mode, "model");
+        assert_eq!(run.levels, 1);
+        assert_eq!(run.level_spans, 1);
+        assert_eq!(run.dropped_events, 2);
+
+        let Record::Level(lvl) = parse_line(lines[1]).unwrap() else {
+            panic!("second line must be a level record");
+        };
+        assert_eq!(lvl.tid, 3);
+        assert_eq!(lvl.direction, "td");
+        assert_eq!(lvl.frontier, 42);
+        assert_eq!(lvl.edges_scanned, 399);
+        assert_eq!(lvl.span_ns, 10_000);
+        assert_eq!(lvl.barrier_wait.count, 1, "late barrier wait excluded");
+        assert_eq!(lvl.barrier_wait.total_ns, 700);
+        assert_eq!(lvl.lock_wait.count, 1);
+        assert_eq!(lvl.lock_wait.max_ns, 90);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_schema() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"schema\":\"v0\",\"kind\":\"run\"}").is_err());
+        let wrong = to_jsonl(&sample_trace()).replace(SCHEMA, "mcbfs-trace-v999");
+        assert!(parse_line(wrong.lines().next().unwrap()).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `mcbfs-trace`: low-overhead per-thread event tracing for the multicore
+//! BFS, with log2 wait-time histograms and Chrome-trace / JSONL exporters.
+//!
+//! The paper's analysis (and this repo's machine model) prices individual
+//! operation classes — barrier episodes, `lock xadd` contention, channel
+//! hops. This crate makes the *measured* counterpart of that breakdown
+//! visible: the sync primitives and BFS algorithms record spans and
+//! instants into thread-local buffers ([`session`]), and after a run the
+//! collected [`Trace`] exports to `chrome://tracing`/Perfetto JSON
+//! ([`chrome`]) or a flat JSONL metrics stream ([`jsonl`]).
+//!
+//! Recording is feature-gated: without the `capture` feature (on by
+//! default) every instrumentation entry point is an empty inline stub, so
+//! a `--no-default-features` build pays nothing. With it, the hot path is
+//! one relaxed atomic load, one monotonic clock read, and a `Vec` push —
+//! deliberately free of `lock`-prefixed instructions so the tracer cannot
+//! perturb the very contention it exists to observe.
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod jsonl;
+pub mod ring;
+pub mod session;
+
+pub use chrome::to_chrome_json;
+pub use event::{EventKind, TraceEvent};
+pub use hist::{bucket_index, bucket_low, HistSummary, Log2Histogram, NUM_BUCKETS};
+pub use jsonl::{parse_line, to_jsonl, LevelRecord, Record, RunRecord, SCHEMA};
+pub use ring::EventRing;
+pub use session::{
+    enabled, finish, flush_thread, inject, instant, now_ns, record_level_meta, register_worker,
+    start, LevelMeta, RunMeta, SpanTimer, ThreadTrace, Trace, UNTAGGED_BASE,
+};

@@ -1,0 +1,111 @@
+//! Bounded per-thread event buffer.
+//!
+//! Bounded so a pathological run cannot eat unbounded memory; when full it
+//! drops the *newest* events (keeping the earliest levels, which are the
+//! interesting ones for BFS) and counts the drops so exporters can report
+//! truncation honestly. Push is a capacity check plus `Vec::push` — no
+//! atomics, no locks.
+
+use crate::event::TraceEvent;
+
+/// Default capacity: 64Ki events × 32 B = 2 MiB per thread, far above what
+/// a BFS run on any graph we generate emits.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A bounded append-only event buffer owned by exactly one thread.
+#[derive(Debug)]
+pub struct EventRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring with the given capacity (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// A ring with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Appends an event, dropping it (and counting the drop) if full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, yielding its events and drop count.
+    pub fn into_parts(self) -> (Vec<TraceEvent>, u64) {
+        (self.events, self.dropped)
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(start: u64) -> TraceEvent {
+        TraceEvent {
+            start_ns: start,
+            dur_ns: 1,
+            kind: EventKind::BarrierWait,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_oldest_when_full() {
+        let mut r = EventRing::with_capacity(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        let (events, dropped) = r.into_parts();
+        assert_eq!(events[0].start_ns, 0);
+        assert_eq!(events[1].start_ns, 1);
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = EventRing::with_capacity(0);
+        r.push(ev(7));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

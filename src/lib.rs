@@ -20,7 +20,10 @@
 //!   figures on arbitrary hosts, and the published-results reference data;
 //! * [`core`] — the BFS algorithms themselves (Algorithms 1, 2, 3 of the
 //!   paper plus ablations), instrumentation, and the native/modelled
-//!   executors.
+//!   executors;
+//! * [`trace`] — the low-overhead per-thread event recorder behind
+//!   `BfsRunner::traced`, with Chrome-trace JSON and flat JSONL exporters
+//!   (compiled to no-ops without the `trace` cargo feature).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use mcbfs_gen as gen;
 pub use mcbfs_graph as graph;
 pub use mcbfs_machine as machine;
 pub use mcbfs_sync as sync;
+pub use mcbfs_trace as trace;
 
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {

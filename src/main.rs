@@ -57,10 +57,13 @@ fn usage(err: &str) -> ! {
          \x20             [--degree D] [--seed S] [--permute] --out PATH\n\
          \x20 bfs         --graph PATH [--root R] [--threads T]\n\
          \x20             [--algorithm seq|simple|single|multi:S|hybrid[:auto|td|bu|alt]]\n\
+         \x20             [--mode native|model] [--machine ep|ex]\n\
+         \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
          \x20 kernel      --graph PATH [--searches K] [--threads T] [--seed S]\n\
          \x20 components  --graph PATH [--threads T]\n\
          \x20 stcon       --graph PATH --source S --target T\n\
          \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
+         \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
          \x20 calibrate   [--thorough]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
@@ -96,6 +99,49 @@ fn require(opts: &HashMap<String, String>, key: &str) -> String {
     opts.get(key)
         .cloned()
         .unwrap_or_else(|| usage(&format!("missing --{key}")))
+}
+
+fn parse_machine(name: &str) -> MachineModel {
+    match name {
+        "ep" => MachineModel::nehalem_ep(),
+        "ex" => MachineModel::nehalem_ex(),
+        other => usage(&format!("unknown --machine {other:?} (ep|ex)")),
+    }
+}
+
+fn write_text_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+}
+
+/// Handles `--trace`, `--metrics` and `--stats-json` for a finished run.
+fn write_exports(opts: &HashMap<String, String>, result: &multicore_bfs::core::BfsResult) {
+    if opts.contains_key("trace") || opts.contains_key("metrics") {
+        let Some(trace) = result.trace.as_ref() else {
+            usage(
+                "--trace/--metrics need the `trace` cargo feature (rebuild with default features)",
+            )
+        };
+        if let Some(path) = opts.get("trace") {
+            write_text_file(path, &multicore_bfs::trace::to_chrome_json(trace));
+            println!(
+                "wrote Chrome trace {path}: {} events across {} threads",
+                trace.event_count(),
+                trace.threads.len()
+            );
+        }
+        if let Some(path) = opts.get("metrics") {
+            write_text_file(path, &multicore_bfs::trace::to_jsonl(trace));
+            println!(
+                "wrote metrics JSONL {path}: {} level spans",
+                trace.level_span_count()
+            );
+        }
+    }
+    if let Some(path) = opts.get("stats-json") {
+        let json = serde_json::to_string_pretty(&result.stats).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
 }
 
 fn load_graph(opts: &HashMap<String, String>) -> CsrGraph {
@@ -176,15 +222,25 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
     let root: u32 = get(opts, "root", 0u32);
     let threads: usize = get(opts, "threads", 1usize);
     let algorithm = parse_algorithm(&get(opts, "algorithm", "single".to_string()));
+    let mode_name = get(opts, "mode", "native".to_string());
+    let mode = match mode_name.as_str() {
+        "native" => ExecMode::Native,
+        "model" => ExecMode::model(parse_machine(&get(opts, "machine", "ex".to_string()))),
+        other => usage(&format!("unknown --mode {other:?} (native|model)")),
+    };
+    let traced = opts.contains_key("trace") || opts.contains_key("metrics");
     let result = BfsRunner::new(&graph)
         .algorithm(algorithm)
         .threads(threads)
+        .mode(mode)
+        .traced(traced)
         .run(root);
     validate_bfs_tree(&graph, root, &result.parents)
         .unwrap_or_else(|e| usage(&format!("produced invalid tree: {e}")));
     let s = &result.stats;
     println!(
-        "visited {} of {} vertices in {} levels; {:.3} ms; {:.1} ME/s ({} edges)",
+        "[{}] visited {} of {} vertices in {} levels; {:.3} ms; {:.1} ME/s ({} edges)",
+        mode_name,
         s.vertices_visited,
         graph.num_vertices(),
         s.levels,
@@ -192,6 +248,7 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
         s.me_per_s(),
         s.edges_traversed
     );
+    write_exports(opts, &result);
     if matches!(algorithm, Algorithm::Hybrid { .. }) {
         let skipped = result.profile.total().edges_skipped;
         println!(
@@ -248,12 +305,7 @@ fn cmd_stcon(opts: &HashMap<String, String>) {
 
 fn cmd_model(opts: &HashMap<String, String>) {
     let graph = load_graph(opts);
-    let machine = get(opts, "machine", "ex".to_string());
-    let model = match machine.as_str() {
-        "ep" => MachineModel::nehalem_ep(),
-        "ex" => MachineModel::nehalem_ex(),
-        other => usage(&format!("unknown --machine {other:?} (ep|ex)")),
-    };
+    let model = parse_machine(&get(opts, "machine", "ex".to_string()));
     let threads: usize = get(opts, "threads", model.spec.total_threads());
     let sockets = model.spec.sockets_used(threads);
     let algorithm = if sockets > 1 {
@@ -261,10 +313,12 @@ fn cmd_model(opts: &HashMap<String, String>) {
     } else {
         Algorithm::SingleSocket
     };
+    let traced = opts.contains_key("trace") || opts.contains_key("metrics");
     let result = BfsRunner::new(&graph)
         .algorithm(algorithm)
         .threads(threads)
         .mode(ExecMode::model(model.clone()))
+        .traced(traced)
         .run(get(opts, "root", 0u32));
     println!(
         "{} @ {} threads ({} sockets): predicted {:.3} ms, {:.1} ME/s",
@@ -274,6 +328,7 @@ fn cmd_model(opts: &HashMap<String, String>) {
         result.stats.seconds * 1e3,
         result.stats.me_per_s()
     );
+    write_exports(opts, &result);
 }
 
 fn cmd_calibrate(opts: &HashMap<String, String>) {
