@@ -1,0 +1,159 @@
+//! Cache-locality reordering study: TEPS and locality metrics per vertex
+//! ordering.
+//!
+//! Not a figure of the source paper — this quantifies the post-paper
+//! cache-locality relabelling subsystem (DESIGN.md §"Vertex reordering")
+//! on the paper's uniform and R-MAT workload classes. For every ordering
+//! in [`Reorder::ALL`] (`none`, `degree`, `bfs`, `random`) it reports:
+//!
+//! * **locality metrics** — mean neighbor ID-gap and mean adjacency
+//!   working-set span of the relabelled graph (deterministic, independent
+//!   of the host);
+//! * **TEPS** — for Algorithm 2, multi-socket (2 groups) and the hybrid,
+//!   with the *input* edge count `m` as the common numerator so rates stay
+//!   comparable across orderings and algorithms (the relabelled copies are
+//!   isomorphic, so `m` is identical by construction).
+//!
+//! Searches run through [`BfsRunner`] with `.reorder(..)`, so each
+//! measured run includes the runner's map-back of parents to original IDs
+//! — exactly what a user of `mcbfs bfs --reorder` pays.
+//!
+//! `--smoke` shrinks the workloads to ~1K vertices and a single thread
+//! count: a CI bit-rot check, not a measurement.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_bench::workloads::{rate_cases, Family};
+use mcbfs_core::runner::{Algorithm, BfsRunner, ExecMode, DEFAULT_REORDER_SEED};
+use mcbfs_gen::prelude::*;
+use mcbfs_gen::stats::locality_stats;
+use mcbfs_graph::csr::CsrGraph;
+use mcbfs_graph::reorder::Reorder;
+use mcbfs_machine::model::MachineModel;
+
+fn build_workloads(args: &Args) -> Vec<(&'static str, CsrGraph)> {
+    if args.smoke {
+        return vec![
+            ("uniform", UniformBuilder::new(1 << 10, 8).seed(1).build()),
+            (
+                "rmat",
+                RmatBuilder::new(10, 8).seed(2).permute(true).build(),
+            ),
+        ];
+    }
+    vec![
+        (
+            "uniform",
+            rate_cases(Family::Uniform, args.scale)[0].build(),
+        ),
+        ("rmat", rate_cases(Family::Rmat, args.scale)[0].build()),
+    ]
+}
+
+fn algorithms() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("alg2", Algorithm::SingleSocket),
+        ("multi:2", Algorithm::MultiSocket { sockets: 2 }),
+        ("hybrid", Algorithm::hybrid()),
+    ]
+}
+
+fn main() {
+    let args = Args::parse("fig_reorder_locality");
+    let threads = match (&args.threads, args.smoke) {
+        (Some(t), _) => t.clone(),
+        (None, true) => vec![2],
+        (None, false) => vec![1, 2, 4],
+    };
+    let mut report = Report::new(
+        "Cache-locality vertex reordering: TEPS (common numerator m) per \
+         ordering",
+        "threads",
+    );
+    // Locality metrics get their own report (and `<out>_metrics.json`):
+    // their x axis is the ordering, not the thread count.
+    let mut locality_report = Report::new(
+        "Cache-locality vertex reordering: adjacency locality per ordering \
+         (0=none 1=degree 2=bfs 3=random)",
+        "ordering",
+    );
+
+    for (family, graph) in build_workloads(&args) {
+        let m = graph.num_edges() as f64;
+        eprintln!(
+            "# {family}: {} vertices, {} directed edges",
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        for (idx, &reorder) in Reorder::ALL.iter().enumerate() {
+            // Locality metrics of the relabelled adjacency structure. The
+            // permuted copy is materialized once here purely for
+            // measurement; the runner re-derives its own below so that the
+            // measured path is the same one `mcbfs bfs --reorder` takes.
+            let permuted = reorder
+                .permutation(&graph, DEFAULT_REORDER_SEED)
+                .map(|p| graph.permute(&p));
+            let loc = locality_stats(permuted.as_ref().unwrap_or(&graph));
+            locality_report.push(
+                "mean_neighbor_gap",
+                &format!("{family} gap"),
+                idx as f64,
+                loc.mean_neighbor_gap,
+                "vertex ids",
+            );
+            locality_report.push(
+                "mean_adjacency_span",
+                &format!("{family} span"),
+                idx as f64,
+                loc.mean_adjacency_span,
+                "vertex ids",
+            );
+            println!(
+                "# {family} {reorder}: mean gap {:.1}, mean span {:.1}, max gap {}",
+                loc.mean_neighbor_gap, loc.mean_adjacency_span, loc.max_neighbor_gap
+            );
+
+            for (algo_name, algo) in algorithms() {
+                if args.mode.wants_native() {
+                    for &t in &threads {
+                        let r = BfsRunner::new(&graph)
+                            .algorithm(algo)
+                            .threads(t)
+                            .reorder(reorder)
+                            .run(0);
+                        report.push(
+                            "teps_native",
+                            &format!("{family} {algo_name} {reorder}"),
+                            t as f64,
+                            m / r.stats.seconds.max(1e-9) / 1e6,
+                            "MTEPS",
+                        );
+                    }
+                }
+                if args.mode.wants_model() {
+                    for &t in &threads {
+                        let r = BfsRunner::new(&graph)
+                            .algorithm(algo)
+                            .threads(t)
+                            .mode(ExecMode::model(MachineModel::nehalem_ep()))
+                            .reorder(reorder)
+                            .run(0);
+                        report.push(
+                            "teps_model_ep",
+                            &format!("{family} {algo_name} {reorder}"),
+                            t as f64,
+                            m / r.stats.seconds.max(1e-9) / 1e6,
+                            "MTEPS",
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let metrics_out = args.out.as_ref().map(|p| {
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("figure");
+        p.with_file_name(format!("{stem}_metrics.json"))
+    });
+    locality_report.finish(&metrics_out);
+    report.finish(&args.out);
+}

@@ -9,6 +9,8 @@
 //! --out PATH            write JSON rows to PATH (default: results/<exp>.json)
 //! --no-json             skip the JSON dump
 //! --metrics PATH        append per-level trace JSONL from traced runs
+//! --smoke               minimal CI configuration (tiny graphs, one thread
+//!                       count) — proves the binary runs, measures nothing
 //! ```
 
 use std::path::PathBuf;
@@ -60,6 +62,10 @@ pub struct Args {
     /// append one `mcbfs-trace` record stream per run (`None` disables
     /// tracing).
     pub metrics: Option<PathBuf>,
+    /// Minimal CI configuration: binaries that honor it shrink workloads
+    /// and thread sweeps until the run takes seconds — a bit-rot check,
+    /// not a measurement.
+    pub smoke: bool,
 }
 
 impl Args {
@@ -78,6 +84,7 @@ impl Args {
             threads: None,
             out: Some(PathBuf::from(format!("results/{experiment}.json"))),
             metrics: None,
+            smoke: false,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -113,6 +120,7 @@ impl Args {
                     ))
                 }
                 "--no-json" => out.out = None,
+                "--smoke" => out.smoke = true,
                 "--metrics" => {
                     out.metrics =
                         Some(PathBuf::from(it.next().unwrap_or_else(|| {
@@ -133,7 +141,7 @@ fn usage(experiment: &str, err: &str) -> ! {
     }
     eprintln!(
         "usage: {experiment} [--scale small|paper] [--mode model|native|both] \
-         [--threads 1,2,4] [--out PATH] [--no-json] [--metrics PATH]"
+         [--threads 1,2,4] [--out PATH] [--no-json] [--metrics PATH] [--smoke]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -153,7 +161,13 @@ mod tests {
         assert_eq!(a.mode, Mode::Model);
         assert!(a.threads.is_none());
         assert!(a.metrics.is_none());
+        assert!(!a.smoke);
         assert_eq!(a.out.unwrap().to_str().unwrap(), "results/test.json");
+    }
+
+    #[test]
+    fn smoke_flag_sets_smoke() {
+        assert!(parse(&["--smoke"]).smoke);
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct BfsStats {
     pub sockets: usize,
     /// Aggregate operation counts over the whole run.
     pub totals: ThreadCounts,
+    /// Vertices per hop depth (`depth_histogram[d]` = vertices at depth
+    /// `d`), always reported in the *original* vertex labelling. Invariant
+    /// under cache-locality reordering — two runs of the same search on
+    /// differently-labelled copies of one graph must produce identical
+    /// histograms, which CI asserts for `--reorder`.
+    pub depth_histogram: Vec<u64>,
 }
 
 impl BfsStats {
@@ -108,6 +114,8 @@ impl Recorder {
 }
 
 /// Derives a [`BfsStats`] from a finished profile and measured time.
+/// `depth_histogram` starts empty; the runner fills it from the final
+/// (reorder-remapped) parent array.
 pub fn stats_from_profile(profile: &WorkProfile, seconds: f64, vertices_visited: u64) -> BfsStats {
     BfsStats {
         seconds,
@@ -117,6 +125,7 @@ pub fn stats_from_profile(profile: &WorkProfile, seconds: f64, vertices_visited:
         threads: profile.threads,
         sockets: profile.sockets,
         totals: profile.total(),
+        depth_histogram: Vec::new(),
     }
 }
 
@@ -134,6 +143,7 @@ mod tests {
             threads: 4,
             sockets: 1,
             totals: ThreadCounts::default(),
+            depth_histogram: Vec::new(),
         };
         assert_eq!(s.edges_per_second(), 5_000_000.0);
         assert_eq!(s.me_per_s(), 5.0);
@@ -151,6 +161,7 @@ mod tests {
             threads: 1,
             sockets: 1,
             totals: ThreadCounts::default(),
+            depth_histogram: Vec::new(),
         };
         assert!(s.edges_per_second().is_finite());
         assert_eq!(s.edges_per_second(), 5.0 / 1e-9);

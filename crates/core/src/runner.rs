@@ -10,9 +10,15 @@ use crate::instrument::{stats_from_profile, BfsStats};
 use crate::observe;
 use crate::simexec::{simulate, simulate_hybrid, VariantConfig};
 use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_graph::reorder::Reorder;
+use mcbfs_graph::validate::depth_histogram;
 use mcbfs_machine::model::MachineModel;
 use mcbfs_machine::profile::WorkProfile;
 use mcbfs_trace::Trace;
+
+/// Default seed of the [`Reorder::Random`] shuffle — fixed so a
+/// `--reorder random` run is reproducible without extra flags.
+pub const DEFAULT_REORDER_SEED: u64 = 0x5EED;
 
 /// Which of the paper's algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,11 +122,13 @@ pub struct BfsRunner<'g> {
     threads: usize,
     mode: ExecMode,
     trace: bool,
+    reorder: Reorder,
+    reorder_seed: u64,
 }
 
 impl<'g> BfsRunner<'g> {
     /// A runner for `graph` with defaults: Algorithm 2, one thread, native
-    /// execution, no tracing.
+    /// execution, no tracing, no reordering.
     pub fn new(graph: &'g CsrGraph) -> Self {
         Self {
             graph,
@@ -128,6 +136,8 @@ impl<'g> BfsRunner<'g> {
             threads: 1,
             mode: ExecMode::Native,
             trace: false,
+            reorder: Reorder::None,
+            reorder_seed: DEFAULT_REORDER_SEED,
         }
     }
 
@@ -154,6 +164,25 @@ impl<'g> BfsRunner<'g> {
     /// `trace` feature is compiled out).
     pub fn traced(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Selects a cache-locality vertex reordering. The runner relabels the
+    /// graph through the ordering's permutation, runs the search on the
+    /// relabelled copy (where the hot visit state is packed into few cache
+    /// lines), and maps parents back to the *original* vertex ids — so
+    /// [`BfsResult::parents`] is a valid BFS tree of the input graph with
+    /// depths identical to an unreordered run, whatever the ordering.
+    pub fn reorder(mut self, reorder: Reorder) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Seed of the [`Reorder::Random`] shuffle (default
+    /// [`DEFAULT_REORDER_SEED`]; the other orderings are deterministic in
+    /// the graph alone).
+    pub fn reorder_seed(mut self, seed: u64) -> Self {
+        self.reorder_seed = seed;
         self
     }
 
@@ -184,12 +213,18 @@ impl<'g> BfsRunner<'g> {
         }
     }
 
-    /// Runs BFS from `root`.
+    /// Runs BFS from `root` (an id in the *original* labelling — the
+    /// reordering, if any, is an internal execution detail).
     pub fn run(&self, root: VertexId) -> BfsResult {
         if self.trace {
+            let reorder_note = if self.reorder == Reorder::None {
+                String::new()
+            } else {
+                format!(" reorder={}", self.reorder.name())
+            };
             mcbfs_trace::start(mcbfs_trace::RunMeta {
                 label: format!(
-                    "n={} m={} root={root}",
+                    "n={} m={} root={root}{reorder_note}",
                     self.graph.num_vertices(),
                     self.graph.num_edges()
                 ),
@@ -201,7 +236,18 @@ impl<'g> BfsRunner<'g> {
                 threads: self.effective_threads(),
             });
         }
-        let mut result = self.run_inner(root);
+        // With a reordering selected, execute on the relabelled copy and
+        // map the results back; the caller only ever sees original ids.
+        let mut result = match self.reorder.permutation(self.graph, self.reorder_seed) {
+            None => self.run_inner(self.graph, root),
+            Some(permutation) => {
+                let permuted = self.graph.permute(&permutation);
+                let mut r = self.run_inner(&permuted, permutation.to_new(root));
+                r.parents = permutation.map_parents_back(&r.parents);
+                r
+            }
+        };
+        result.stats.depth_histogram = depth_histogram(&result.parents);
         if self.trace {
             mcbfs_trace::record_level_meta(observe::level_meta(&result.profile));
             result.trace = mcbfs_trace::finish();
@@ -209,30 +255,24 @@ impl<'g> BfsRunner<'g> {
         result
     }
 
-    fn run_inner(&self, root: VertexId) -> BfsResult {
+    fn run_inner(&self, graph: &CsrGraph, root: VertexId) -> BfsResult {
         match &self.mode {
             ExecMode::Native => {
                 let run = match self.algorithm {
-                    Algorithm::Sequential => bfs_sequential(self.graph, root),
-                    Algorithm::Simple => bfs_simple(self.graph, root, self.threads),
-                    Algorithm::SingleSocket => bfs_single_socket(
-                        self.graph,
-                        root,
-                        self.threads,
-                        SingleSocketOpts::default(),
-                    ),
+                    Algorithm::Sequential => bfs_sequential(graph, root),
+                    Algorithm::Simple => bfs_simple(graph, root, self.threads),
+                    Algorithm::SingleSocket => {
+                        bfs_single_socket(graph, root, self.threads, SingleSocketOpts::default())
+                    }
                     Algorithm::MultiSocket { sockets } => bfs_multi_socket(
-                        self.graph,
+                        graph,
                         root,
                         self.threads,
                         MultiSocketOpts::with_sockets(sockets),
                     ),
-                    Algorithm::Hybrid { policy } => bfs_hybrid(
-                        self.graph,
-                        root,
-                        self.threads,
-                        HybridOpts::with_policy(policy),
-                    ),
+                    Algorithm::Hybrid { policy } => {
+                        bfs_hybrid(graph, root, self.threads, HybridOpts::with_policy(policy))
+                    }
                 };
                 let stats = stats_from_profile(&run.profile, run.seconds, run.visited);
                 BfsResult {
@@ -249,9 +289,9 @@ impl<'g> BfsRunner<'g> {
                     self.threads
                 };
                 let sim = if let Algorithm::Hybrid { policy } = self.algorithm {
-                    simulate_hybrid(self.graph, root, threads, HybridOpts::with_policy(policy))
+                    simulate_hybrid(graph, root, threads, HybridOpts::with_policy(policy))
                 } else {
-                    simulate(self.graph, root, threads, self.algorithm.variant_config())
+                    simulate(graph, root, threads, self.algorithm.variant_config())
                 };
                 let prediction = model.predict(&sim.profile);
                 if self.trace {
@@ -350,6 +390,65 @@ mod tests {
         let g = graph();
         let r = BfsRunner::new(&g).threads(0).run(0);
         assert_eq!(r.stats.threads, 1);
+    }
+
+    #[test]
+    fn depth_histogram_populated_and_sums_to_visited() {
+        let g = graph();
+        let r = BfsRunner::new(&g).threads(2).run(0);
+        assert!(!r.stats.depth_histogram.is_empty());
+        assert_eq!(
+            r.stats.depth_histogram.iter().sum::<u64>(),
+            r.stats.vertices_visited
+        );
+        assert_eq!(r.stats.depth_histogram[0], 1); // the root alone at depth 0
+    }
+
+    #[test]
+    fn reordered_runs_report_original_ids_and_identical_depths() {
+        let g = RmatBuilder::new(10, 8).seed(9).build();
+        let root = 17;
+        let baseline = BfsRunner::new(&g).threads(2).run(root);
+        for reorder in [Reorder::Degree, Reorder::Bfs, Reorder::Random] {
+            for algo in [
+                Algorithm::Sequential,
+                Algorithm::SingleSocket,
+                Algorithm::MultiSocket { sockets: 2 },
+                Algorithm::hybrid(),
+            ] {
+                let r = BfsRunner::new(&g)
+                    .algorithm(algo)
+                    .threads(4)
+                    .reorder(reorder)
+                    .run(root);
+                // Parents are in original ids and form a valid tree of the
+                // original graph...
+                validate_bfs_tree(&g, root, &r.parents)
+                    .unwrap_or_else(|e| panic!("{reorder} {algo:?}: {e}"));
+                // ...with depths bit-identical to the unreordered run.
+                assert_eq!(
+                    r.stats.depth_histogram, baseline.stats.depth_histogram,
+                    "{reorder} {algo:?}"
+                );
+                assert_eq!(r.stats.vertices_visited, baseline.stats.vertices_visited);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_random_seed_changes_layout_not_results() {
+        let g = graph();
+        let a = BfsRunner::new(&g)
+            .reorder(Reorder::Random)
+            .reorder_seed(1)
+            .run(0);
+        let b = BfsRunner::new(&g)
+            .reorder(Reorder::Random)
+            .reorder_seed(2)
+            .run(0);
+        assert_eq!(a.stats.depth_histogram, b.stats.depth_histogram);
+        validate_bfs_tree(&g, 0, &a.parents).unwrap();
+        validate_bfs_tree(&g, 0, &b.parents).unwrap();
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub mod uniform;
 
 use mcbfs_graph::csr::{CsrGraph, VertexId};
 
+/// Edge count above which [`GraphBuilder::build`] assembles the CSR
+/// structure with the parallel (rayon) constructors. Below it, the serial
+/// path wins: spawning and synchronizing workers costs more than the
+/// build itself, and tiny graphs are the common case in tests.
+pub const PARALLEL_BUILD_EDGE_THRESHOLD: usize = 1 << 15;
+
 /// Common interface of every generator: produce an edge list or a finished
 /// CSR graph.
 pub trait GraphBuilder {
@@ -45,13 +51,18 @@ pub trait GraphBuilder {
         true
     }
 
-    /// Generates the graph and assembles the CSR structure.
+    /// Generates the graph and assembles the CSR structure — in parallel
+    /// above [`PARALLEL_BUILD_EDGE_THRESHOLD`] generated edges (identical
+    /// output either way; the large generator runs were dominated by the
+    /// serial CSR assembly, not by sampling).
     fn build(&self) -> CsrGraph {
         let edges = self.build_edges();
-        if self.symmetric() {
-            CsrGraph::from_edges_symmetric(self.num_vertices(), &edges)
-        } else {
-            CsrGraph::from_edges(self.num_vertices(), &edges)
+        let parallel = edges.len() >= PARALLEL_BUILD_EDGE_THRESHOLD;
+        match (self.symmetric(), parallel) {
+            (true, true) => CsrGraph::from_edges_symmetric_parallel(self.num_vertices(), &edges),
+            (true, false) => CsrGraph::from_edges_symmetric(self.num_vertices(), &edges),
+            (false, true) => CsrGraph::from_edges_parallel(self.num_vertices(), &edges),
+            (false, false) => CsrGraph::from_edges(self.num_vertices(), &edges),
         }
     }
 }

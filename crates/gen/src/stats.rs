@@ -74,6 +74,68 @@ pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
     }
 }
 
+/// Deterministic cache-locality metrics of a graph's vertex labelling.
+///
+/// Both metrics are pure functions of the CSR arrays — no timing, no
+/// sampling — so orderings are comparable across machines and runs. They
+/// quantify how far apart in the id space (and therefore in the parent
+/// array / visited bitmap) a traversal's random accesses land:
+///
+/// * **mean neighbor ID-gap** — the mean of `|u − v|` over every directed
+///   edge `(u, v)`. Each edge scan probes the visit state of `v` while
+///   the traversal is positioned at `u`; a small gap means the probe hits
+///   memory near the already-hot region around `u`.
+/// * **adjacency working-set span** — the mean over non-isolated vertices
+///   of `max(neighbors) − min(neighbors)`, the width of the id window one
+///   vertex's scan touches. Spans below a cache's id capacity mean whole
+///   adjacency scans stay resident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityStats {
+    /// Mean `|u − v|` over all directed edges (0 for edgeless graphs).
+    pub mean_neighbor_gap: f64,
+    /// Mean `max − min` neighbor id over non-isolated vertices.
+    pub mean_adjacency_span: f64,
+    /// Largest single neighbor gap observed.
+    pub max_neighbor_gap: u64,
+}
+
+/// Computes [`LocalityStats`] for `graph`'s current labelling.
+pub fn locality_stats(graph: &CsrGraph) -> LocalityStats {
+    let n = graph.num_vertices();
+    let mut gap_sum: u128 = 0;
+    let mut max_gap: u64 = 0;
+    let mut span_sum: u128 = 0;
+    let mut non_isolated: u64 = 0;
+    for u in 0..n as u32 {
+        let neighbors = graph.neighbors(u);
+        if neighbors.is_empty() {
+            continue;
+        }
+        non_isolated += 1;
+        for &v in neighbors {
+            let gap = u64::from(u.abs_diff(v));
+            gap_sum += u128::from(gap);
+            max_gap = max_gap.max(gap);
+        }
+        // Adjacency lists are sorted ascending, so the span is last − first.
+        span_sum += u128::from(neighbors[neighbors.len() - 1] - neighbors[0]);
+    }
+    let m = graph.num_edges();
+    LocalityStats {
+        mean_neighbor_gap: if m == 0 {
+            0.0
+        } else {
+            gap_sum as f64 / m as f64
+        },
+        mean_adjacency_span: if non_isolated == 0 {
+            0.0
+        } else {
+            span_sum as f64 / non_isolated as f64
+        },
+        max_neighbor_gap: max_gap,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +189,50 @@ mod tests {
         let g = UniformBuilder::new(512, 5).seed(2).build();
         let s = degree_stats(&g);
         assert!((s.mean - g.avg_degree()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_of_empty_and_edgeless_graphs() {
+        let empty = locality_stats(&CsrGraph::from_edges(0, &[]));
+        assert_eq!(empty.mean_neighbor_gap, 0.0);
+        assert_eq!(empty.mean_adjacency_span, 0.0);
+        let isolated = locality_stats(&CsrGraph::from_edges(5, &[]));
+        assert_eq!(isolated.mean_neighbor_gap, 0.0);
+        assert_eq!(isolated.max_neighbor_gap, 0);
+    }
+
+    #[test]
+    fn locality_on_a_path_is_unit_gap() {
+        // A path in natural order: every edge spans exactly one id.
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges_symmetric(10, &edges);
+        let s = locality_stats(&g);
+        assert_eq!(s.mean_neighbor_gap, 1.0);
+        assert_eq!(s.max_neighbor_gap, 1);
+        // Interior vertices see {v-1, v+1} (span 2), endpoints span 0.
+        assert!((s.mean_adjacency_span - 16.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_center_dominates_span() {
+        let edges: Vec<_> = (1..8u32).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges_symmetric(8, &edges);
+        let s = locality_stats(&g);
+        // Center scans ids 1..=7 (span 6); every leaf scans only {0}.
+        assert!((s.mean_adjacency_span - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(s.max_neighbor_gap, 7);
+    }
+
+    #[test]
+    fn scattered_labelling_has_larger_gap_than_contiguous() {
+        // The same path relabelled by a stride permutation: ids that were
+        // adjacent are now far apart.
+        let contiguous: Vec<_> = (0..99u32).map(|i| (i, i + 1)).collect();
+        let scattered: Vec<_> = (0..99u32)
+            .map(|i| ((i * 37) % 100, ((i + 1) * 37) % 100))
+            .collect();
+        let near = locality_stats(&CsrGraph::from_edges_symmetric(100, &contiguous));
+        let far = locality_stats(&CsrGraph::from_edges_symmetric(100, &scattered));
+        assert!(far.mean_neighbor_gap > 10.0 * near.mean_neighbor_gap);
     }
 }

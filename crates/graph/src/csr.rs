@@ -85,14 +85,13 @@ impl CsrGraph {
     /// Builds an undirected graph: every input edge is inserted in both
     /// directions (self-loops only once).
     pub fn from_edges_symmetric(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
-        let mut both = Vec::with_capacity(edges.len() * 2);
-        for &(u, v) in edges {
-            both.push((u, v));
-            if u != v {
-                both.push((v, u));
-            }
-        }
-        Self::from_edges(n, &both)
+        Self::from_edges(n, &mirror_edges(edges))
+    }
+
+    /// Parallel counterpart of [`CsrGraph::from_edges_symmetric`]:
+    /// identical output, assembled with [`CsrGraph::from_edges_parallel`].
+    pub fn from_edges_symmetric_parallel(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Self::from_edges_parallel(n, &mirror_edges(edges))
     }
 
     /// Parallel (rayon) construction of a directed CSR graph. Identical
@@ -238,6 +237,50 @@ impl CsrGraph {
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
+    /// Relabels every vertex through `permutation` (old ids → new ids),
+    /// returning the isomorphic graph in the new labelling with each
+    /// adjacency list re-sorted ascending.
+    ///
+    /// The result is structurally identical to rebuilding from the
+    /// relabelled edge list — degrees, edge multiset and connectivity are
+    /// preserved; only the ids (and therefore the memory layout of every
+    /// per-vertex array) change. See [`crate::reorder`] for the orderings.
+    ///
+    /// # Panics
+    /// Panics if `permutation.len() != self.num_vertices()`.
+    pub fn permute(&self, permutation: &crate::reorder::Permutation) -> Self {
+        let n = self.num_vertices();
+        assert_eq!(permutation.len(), n, "permutation size mismatch");
+        let mut offsets = vec![0u64; n + 1];
+        for new_v in 0..n {
+            offsets[new_v + 1] =
+                offsets[new_v] + self.degree(permutation.to_old(new_v as VertexId)) as u64;
+        }
+        let mut targets = vec![0 as VertexId; self.num_edges()];
+        {
+            // Per-vertex output ranges are disjoint; fill and sort them in
+            // parallel through the same raw-pointer reservation idiom as
+            // `from_edges_parallel`.
+            struct Slots(*mut VertexId);
+            unsafe impl Sync for Slots {}
+            let slots = Slots(targets.as_mut_ptr());
+            let offsets = &offsets;
+            (0..n).into_par_iter().for_each(|new_v| {
+                let old_v = permutation.to_old(new_v as VertexId);
+                let (s, e) = (offsets[new_v] as usize, offsets[new_v + 1] as usize);
+                // SAFETY: offsets are a strict prefix sum, so s..e ranges
+                // are disjoint across new_v.
+                let out = unsafe { core::slice::from_raw_parts_mut(slots.0.add(s), e - s) };
+                for (slot, &old_t) in out.iter_mut().zip(self.neighbors(old_v)) {
+                    *slot = permutation.to_new(old_t);
+                }
+                out.sort_unstable();
+                let _ = &slots;
+            });
+        }
+        Self { offsets, targets }
+    }
+
     /// Degree histogram: `hist[d]` = number of vertices with out-degree `d`
     /// (capped at `max_bucket`, larger degrees counted in the last bucket).
     pub fn degree_histogram(&self, max_bucket: usize) -> Vec<usize> {
@@ -248,6 +291,18 @@ impl CsrGraph {
         }
         hist
     }
+}
+
+/// Expands an undirected edge list into both directions (self-loops once).
+fn mirror_edges(edges: &[(VertexId, VertexId)]) -> Vec<(VertexId, VertexId)> {
+    let mut both = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        both.push((u, v));
+        if u != v {
+            both.push((v, u));
+        }
+    }
+    both
 }
 
 #[cfg(test)]
@@ -341,6 +396,40 @@ mod tests {
         let seq = CsrGraph::from_edges(100, &edges);
         let par = CsrGraph::from_edges_parallel(100, &edges);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn symmetric_parallel_matches_serial() {
+        let edges: Vec<(VertexId, VertexId)> = (0..300u32)
+            .map(|i| ((i * 31) % 50, (i * 17) % 50))
+            .collect();
+        let seq = CsrGraph::from_edges_symmetric(50, &edges);
+        let par = CsrGraph::from_edges_symmetric_parallel(50, &edges);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let g = path_graph(8);
+        let p = crate::reorder::Permutation::identity(8);
+        assert_eq!(g.permute(&p), g);
+    }
+
+    #[test]
+    fn permute_reversal_relabels_and_resorts() {
+        let g = path_graph(4); // 0-1-2-3
+        let p = crate::reorder::Permutation::from_old_to_new(vec![3, 2, 1, 0]);
+        let h = g.permute(&p);
+        // The path survives with reversed labels; adjacency stays sorted.
+        assert_eq!(h.neighbors(3), &[2]); // old 0 → {old 1} = {new 2}
+        assert_eq!(h.neighbors(2), &[1, 3]);
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn permute_rejects_wrong_size() {
+        path_graph(4).permute(&crate::reorder::Permutation::identity(3));
     }
 
     #[test]

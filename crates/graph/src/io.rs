@@ -6,16 +6,25 @@
 //! ```text
 //! edge list:  magic "MCBE" | u64 n | u64 m | m × (u32 src, u32 dst)
 //! CSR:        magic "MCBC" | u64 n | u64 m | (n+1) × u64 offsets | m × u32 targets
+//! CSR v2:     magic "MCBR" | u64 n | u64 m | u32 reorder tag | (n+1) × u64 offsets | m × u32 targets
 //! ```
+//!
+//! The `MCBR` variant is written for graphs saved after a
+//! [`crate::reorder`] relabelling: the tag ([`Reorder::tag`]) records
+//! which ordering was applied, making the file self-describing. Plain
+//! (`none`-ordered) graphs keep the `MCBC` header, and [`read_csr`] /
+//! [`read_csr_tagged`] accept both.
 //!
 //! All integers little-endian, written with the `bytes` crate.
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::reorder::Reorder;
 use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
 
 const EDGE_MAGIC: &[u8; 4] = b"MCBE";
 const CSR_MAGIC: &[u8; 4] = b"MCBC";
+const CSR_REORDERED_MAGIC: &[u8; 4] = b"MCBR";
 
 /// Errors arising while reading a graph file.
 #[derive(Debug)]
@@ -101,12 +110,30 @@ pub fn read_edge_list<R: Read>(r: &mut R) -> Result<(usize, Vec<(VertexId, Verte
     Ok((n, edges))
 }
 
-/// Writes a CSR graph in the `MCBC` binary format.
+/// Writes a CSR graph in the `MCBC` binary format (ordering `none`).
 pub fn write_csr<W: Write>(w: &mut W, graph: &CsrGraph) -> Result<(), IoError> {
-    let mut header = Vec::with_capacity(20);
-    header.put_slice(CSR_MAGIC);
-    header.put_u64_le(graph.num_vertices() as u64);
-    header.put_u64_le(graph.num_edges() as u64);
+    write_csr_tagged(w, graph, Reorder::None)
+}
+
+/// Writes a CSR graph recording the vertex ordering that produced its
+/// labelling: `MCBC` when `reorder` is [`Reorder::None`] (byte-identical
+/// to the legacy format), `MCBR` with a tag word otherwise.
+pub fn write_csr_tagged<W: Write>(
+    w: &mut W,
+    graph: &CsrGraph,
+    reorder: Reorder,
+) -> Result<(), IoError> {
+    let mut header = Vec::with_capacity(24);
+    if reorder == Reorder::None {
+        header.put_slice(CSR_MAGIC);
+        header.put_u64_le(graph.num_vertices() as u64);
+        header.put_u64_le(graph.num_edges() as u64);
+    } else {
+        header.put_slice(CSR_REORDERED_MAGIC);
+        header.put_u64_le(graph.num_vertices() as u64);
+        header.put_u64_le(graph.num_edges() as u64);
+        header.put_u32_le(reorder.tag());
+    }
     w.write_all(&header)?;
     let mut buf = Vec::with_capacity(16 * 1024);
     for &o in graph.offsets() {
@@ -127,16 +154,30 @@ pub fn write_csr<W: Write>(w: &mut W, graph: &CsrGraph) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Reads a CSR graph written by [`write_csr`].
+/// Reads a CSR graph written by [`write_csr`] or [`write_csr_tagged`],
+/// discarding the ordering tag.
 pub fn read_csr<R: Read>(r: &mut R) -> Result<CsrGraph, IoError> {
+    read_csr_tagged(r).map(|(g, _)| g)
+}
+
+/// Reads a CSR graph together with the vertex ordering recorded in its
+/// header (legacy `MCBC` files report [`Reorder::None`]).
+pub fn read_csr_tagged<R: Read>(r: &mut R) -> Result<(CsrGraph, Reorder), IoError> {
     let mut header = [0u8; 20];
     r.read_exact(&mut header)?;
     let mut cur = &header[..];
     let mut magic = [0u8; 4];
     cur.copy_to_slice(&mut magic);
-    if &magic != CSR_MAGIC {
-        return Err(IoError::BadMagic);
-    }
+    let reorder = match &magic {
+        m if m == CSR_MAGIC => Reorder::None,
+        m if m == CSR_REORDERED_MAGIC => {
+            let mut tag = [0u8; 4];
+            r.read_exact(&mut tag)?;
+            Reorder::from_tag(u32::from_le_bytes(tag))
+                .ok_or(IoError::Corrupt("unknown reorder tag"))?
+        }
+        _ => return Err(IoError::BadMagic),
+    };
     let n = cur.get_u64_le() as usize;
     let m = cur.get_u64_le() as usize;
     let mut offsets_raw = vec![
@@ -163,7 +204,7 @@ pub fn read_csr<R: Read>(r: &mut R) -> Result<CsrGraph, IoError> {
     {
         return Err(IoError::Corrupt("inconsistent CSR arrays"));
     }
-    Ok(CsrGraph::from_raw_parts(offsets, targets))
+    Ok((CsrGraph::from_raw_parts(offsets, targets), reorder))
 }
 
 /// Parses a whitespace-separated text edge list (`src dst` per line,
@@ -317,6 +358,43 @@ mod tests {
         write_csr(&mut buf, &g).unwrap();
         let back = read_csr(&mut &buf[..]).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn tagged_csr_roundtrips_every_ordering() {
+        let g = CsrGraph::from_edges_symmetric(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)]);
+        for reorder in Reorder::ALL {
+            let mut buf = Vec::new();
+            write_csr_tagged(&mut buf, &g, reorder).unwrap();
+            let (back, tag) = read_csr_tagged(&mut &buf[..]).unwrap();
+            assert_eq!(back, g, "{reorder}");
+            assert_eq!(tag, reorder);
+            // read_csr accepts both header variants.
+            assert_eq!(read_csr(&mut &buf[..]).unwrap(), g, "{reorder}");
+        }
+    }
+
+    #[test]
+    fn untagged_write_is_legacy_format() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut plain = Vec::new();
+        write_csr(&mut plain, &g).unwrap();
+        let mut tagged_none = Vec::new();
+        write_csr_tagged(&mut tagged_none, &g, Reorder::None).unwrap();
+        assert_eq!(plain, tagged_none);
+        assert_eq!(&plain[..4], CSR_MAGIC);
+    }
+
+    #[test]
+    fn tagged_csr_rejects_unknown_tag() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_csr_tagged(&mut buf, &g, Reorder::Degree).unwrap();
+        buf[20..24].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_csr_tagged(&mut &buf[..]),
+            Err(IoError::Corrupt("unknown reorder tag"))
+        ));
     }
 
     #[test]

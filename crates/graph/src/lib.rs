@@ -21,11 +21,17 @@
 //!   Algorithm 3: contiguous vertex ranges and the rule
 //!   `DetermineSocket(v)` assigning every vertex's visit state (parent slot,
 //!   bitmap shard, queues) to one socket.
+//! * [`reorder`] — cache-locality vertex relabelling: a validated
+//!   [`reorder::Permutation`] plus degree-descending / BFS-frontier /
+//!   random-shuffle orderings, applied by [`csr::CsrGraph::permute`]. The
+//!   generated labelling scatters hub vertices across the id space; a
+//!   locality-improving relabelling packs the hot visit state into few
+//!   cache lines, complementing the bitmap.
 //! * [`validate::validate_bfs_tree`] — a Graph500-style validator used by
 //!   every test and benchmark to prove each parallel run produced a correct
 //!   BFS tree.
 //! * [`io`] — edge-list and CSR (de)serialization for persisting generated
-//!   benchmark graphs.
+//!   benchmark graphs, including the applied-reordering header tag.
 
 pub mod bitmap;
 pub mod csr;
@@ -33,10 +39,12 @@ pub mod frontier;
 pub mod io;
 pub mod ops;
 pub mod partition;
+pub mod reorder;
 pub mod validate;
 
 pub use bitmap::AtomicBitmap;
 pub use csr::{CsrGraph, VertexId, UNVISITED};
 pub use frontier::Frontier;
 pub use partition::VertexPartition;
+pub use reorder::{Permutation, Reorder};
 pub use validate::{validate_bfs_tree, BfsTreeInfo, ValidationError};

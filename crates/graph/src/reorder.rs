@@ -1,0 +1,470 @@
+//! Cache-locality vertex reordering.
+//!
+//! The paper's optimizations (bitmap, chunked queues, probe batching) all
+//! attack memory *latency*, but take the generator's vertex labelling as
+//! given. On scale-free graphs that labelling scatters the hub vertices
+//! across the whole id space, so every adjacency scan walks a
+//! cache-hostile set of parent slots and bitmap words. Relabelling the
+//! vertices so that frequently co-accessed ids are numerically close
+//! shrinks the random working set the same way the bitmap does — by
+//! making the hot ids share cache lines — and is one of the
+//! highest-leverage BFS optimizations on multicores (Dhulipala et al.,
+//! SPAA'18; arXiv:2503.00430).
+//!
+//! This module provides:
+//!
+//! * [`Permutation`] — a validated bijection `old id ↔ new id` with the
+//!   result-remapping helpers the runner uses to report BFS output in the
+//!   *original* labelling;
+//! * three orderings: [`degree_descending`] (hub-sort: high-degree
+//!   vertices first, packing the hot parent/bitmap slots into the first
+//!   cache lines), [`bfs_order`] (frontier order from a max-degree seed,
+//!   RCM-style: vertices discovered together get adjacent ids), and
+//!   [`random_shuffle`] (the adversarial baseline that destroys whatever
+//!   locality the generator had);
+//! * the [`Reorder`] policy enum plumbed through the CLI and the `.csr`
+//!   file header.
+//!
+//! Relabelling itself happens in [`CsrGraph::permute`].
+
+use crate::csr::{CsrGraph, VertexId, UNVISITED};
+use std::collections::VecDeque;
+
+/// A bijection between two vertex labellings, stored in both directions.
+///
+/// `old` ids are the graph's labelling before [`CsrGraph::permute`], `new`
+/// ids after. Both arrays have length `n` and are inverses of each other;
+/// every constructor validates bijectivity.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_graph::reorder::Permutation;
+///
+/// // Reverse three vertices: old 0 → new 2, old 1 → new 1, old 2 → new 0.
+/// let p = Permutation::from_old_to_new(vec![2, 1, 0]);
+/// assert_eq!(p.to_new(0), 2);
+/// assert_eq!(p.to_old(2), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `old_to_new[old] = new`.
+    old_to_new: Vec<VertexId>,
+    /// `new_to_old[new] = old`.
+    new_to_old: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        Self {
+            old_to_new: ids.clone(),
+            new_to_old: ids,
+        }
+    }
+
+    /// Builds a permutation from the forward map `old_to_new[old] = new`.
+    ///
+    /// # Panics
+    /// Panics unless the map is a bijection on `0..n`.
+    pub fn from_old_to_new(old_to_new: Vec<VertexId>) -> Self {
+        let new_to_old = invert(&old_to_new);
+        Self {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// Builds a permutation from an *ordering*: `new_to_old[new] = old`,
+    /// i.e. position `i` of the list names the old vertex that becomes new
+    /// vertex `i`.
+    ///
+    /// # Panics
+    /// Panics unless the list is a bijection on `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<VertexId>) -> Self {
+        let old_to_new = invert(&new_to_old);
+        Self {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// Number of vertices the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+
+    /// New id of old vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.old_to_new[old as usize]
+    }
+
+    /// Old id of new vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.new_to_old[new as usize]
+    }
+
+    /// The forward map as a slice (`old → new`).
+    pub fn old_to_new(&self) -> &[VertexId] {
+        &self.old_to_new
+    }
+
+    /// The inverse map as a slice (`new → old`).
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        Self {
+            old_to_new: self.new_to_old.clone(),
+            new_to_old: self.old_to_new.clone(),
+        }
+    }
+
+    /// Maps a BFS parent array produced on the *permuted* graph back to
+    /// the original labelling: entry `old` of the result is the original
+    /// id of `old`'s parent ([`UNVISITED`] entries pass through).
+    ///
+    /// The returned array satisfies the same conventions
+    /// (`parents[root] == root`, unreached = [`UNVISITED`]) on the
+    /// original graph, with identical hop depths — relabelling is an
+    /// isomorphism, so the remapped tree is a valid BFS tree of the
+    /// original graph.
+    pub fn map_parents_back(&self, permuted_parents: &[VertexId]) -> Vec<VertexId> {
+        assert_eq!(permuted_parents.len(), self.len(), "parent array length");
+        (0..self.len() as VertexId)
+            .map(|old| {
+                let p = permuted_parents[self.to_new(old) as usize];
+                if p == UNVISITED {
+                    UNVISITED
+                } else {
+                    self.to_old(p)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Inverts a bijection on `0..n`, panicking on any repeated or
+/// out-of-range image.
+fn invert(map: &[VertexId]) -> Vec<VertexId> {
+    let n = map.len();
+    let mut inv = vec![UNVISITED; n];
+    for (pre, &img) in map.iter().enumerate() {
+        assert!(
+            (img as usize) < n,
+            "permutation image {img} out of range 0..{n}"
+        );
+        assert!(
+            inv[img as usize] == UNVISITED,
+            "permutation maps two vertices to {img}"
+        );
+        inv[img as usize] = pre as VertexId;
+    }
+    inv
+}
+
+/// Hub-sort: vertices ordered by descending out-degree, ties broken by
+/// ascending old id (deterministic). The high-degree vertices — the ones
+/// whose visit state is probed most often — end up packed into the first
+/// bitmap words and parent-array cache lines.
+pub fn degree_descending(graph: &CsrGraph) -> Permutation {
+    let mut order: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    order.sort_by_key(|&v| (core::cmp::Reverse(graph.degree(v)), v));
+    Permutation::from_new_to_old(order)
+}
+
+/// Frontier order: ids assigned in BFS discovery order from a max-degree
+/// seed (RCM-style). Vertices discovered in the same level — exactly the
+/// ones a level-synchronous traversal touches together — receive adjacent
+/// ids. Disconnected components are appended in the same way, each seeded
+/// from its max-degree unvisited vertex.
+pub fn bfs_order(graph: &CsrGraph) -> Permutation {
+    let n = graph.num_vertices();
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // Seeds: every vertex, most connected first, so each component starts
+    // from its hub without a separate component pass.
+    let mut seeds: Vec<VertexId> = (0..n as VertexId).collect();
+    seeds.sort_by_key(|&v| (core::cmp::Reverse(graph.degree(v)), v));
+    let mut queue = VecDeque::new();
+    for seed in seeds {
+        if seen[seed as usize] {
+            continue;
+        }
+        seen[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in graph.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Permutation::from_new_to_old(order)
+}
+
+/// Adversarial baseline: a seeded Fisher–Yates shuffle (splitmix64-driven,
+/// dependency-free) that destroys any locality the generator's labelling
+/// had. Deterministic for a given `(n, seed)`.
+pub fn random_shuffle(n: usize, seed: u64) -> Permutation {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        // splitmix64 (Steele et al.) — full-period, passes BigCrush.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    Permutation::from_new_to_old(order)
+}
+
+/// Reordering policy, as selected on the command line and recorded in the
+/// `.csr` file header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reorder {
+    /// Keep the generated labelling.
+    #[default]
+    None,
+    /// [`degree_descending`] hub-sort.
+    Degree,
+    /// [`bfs_order`] frontier order.
+    Bfs,
+    /// [`random_shuffle`] adversarial baseline.
+    Random,
+}
+
+impl Reorder {
+    /// All concrete (non-`None`) orderings, in presentation order.
+    pub const ALL: [Reorder; 4] = [
+        Reorder::None,
+        Reorder::Degree,
+        Reorder::Bfs,
+        Reorder::Random,
+    ];
+
+    /// Parses a CLI spelling (`none|degree|bfs|random`).
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec {
+            "none" => Some(Reorder::None),
+            "degree" => Some(Reorder::Degree),
+            "bfs" => Some(Reorder::Bfs),
+            "random" => Some(Reorder::Random),
+            _ => None,
+        }
+    }
+
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reorder::None => "none",
+            Reorder::Degree => "degree",
+            Reorder::Bfs => "bfs",
+            Reorder::Random => "random",
+        }
+    }
+
+    /// Stable on-disk tag for the `.csr` header (see [`crate::io`]).
+    pub fn tag(self) -> u32 {
+        match self {
+            Reorder::None => 0,
+            Reorder::Degree => 1,
+            Reorder::Bfs => 2,
+            Reorder::Random => 3,
+        }
+    }
+
+    /// Inverse of [`Reorder::tag`].
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            0 => Some(Reorder::None),
+            1 => Some(Reorder::Degree),
+            2 => Some(Reorder::Bfs),
+            3 => Some(Reorder::Random),
+            _ => None,
+        }
+    }
+
+    /// Computes this ordering's permutation for `graph`, or `None` for
+    /// [`Reorder::None`]. `seed` only affects [`Reorder::Random`].
+    pub fn permutation(self, graph: &CsrGraph, seed: u64) -> Option<Permutation> {
+        match self {
+            Reorder::None => None,
+            Reorder::Degree => Some(degree_descending(graph)),
+            Reorder::Bfs => Some(bfs_order(graph)),
+            Reorder::Random => Some(random_shuffle(graph.num_vertices(), seed)),
+        }
+    }
+}
+
+impl core::fmt::Display for Reorder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{sequential_levels, sequential_parents, validate_bfs_tree};
+
+    fn sample() -> CsrGraph {
+        // A hub (vertex 5) plus a path, in a deliberately scattered
+        // labelling.
+        CsrGraph::from_edges_symmetric(8, &[(5, 0), (5, 2), (5, 7), (5, 3), (0, 1), (1, 6), (6, 4)])
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.len(), 5);
+        for v in 0..5 {
+            assert_eq!(p.to_new(v), v);
+            assert_eq!(p.to_old(v), v);
+        }
+    }
+
+    #[test]
+    fn forward_and_inverse_agree() {
+        let p = Permutation::from_old_to_new(vec![2, 0, 1]);
+        assert_eq!(p.to_new(0), 2);
+        assert_eq!(p.to_old(2), 0);
+        assert_eq!(p.inverse().to_new(2), 0);
+        assert_eq!(
+            Permutation::from_new_to_old(p.new_to_old().to_vec()),
+            p.clone()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_image() {
+        Permutation::from_old_to_new(vec![0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "maps two vertices")]
+    fn rejects_duplicate_image() {
+        Permutation::from_old_to_new(vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn degree_descending_puts_hub_first() {
+        let g = sample();
+        let p = degree_descending(&g);
+        // Vertex 5 has degree 4 — the unique maximum — so it becomes new 0.
+        assert_eq!(p.to_old(0), 5);
+        // Degrees along the new labelling never increase.
+        let degs: Vec<usize> = (0..g.num_vertices() as VertexId)
+            .map(|new| g.degree(p.to_old(new)))
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "{degs:?}");
+    }
+
+    #[test]
+    fn bfs_order_starts_at_hub_and_covers_all() {
+        let g = sample();
+        let p = bfs_order(&g);
+        assert_eq!(p.to_old(0), 5);
+        // Discovery order respects levels: new ids are sorted by BFS depth
+        // from the hub.
+        let levels = sequential_levels(&g, 5);
+        let by_new: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|new| levels[p.to_old(new) as usize])
+            .collect();
+        assert!(by_new.windows(2).all(|w| w[0] <= w[1]), "{by_new:?}");
+    }
+
+    #[test]
+    fn bfs_order_handles_disconnected_components() {
+        let g = CsrGraph::from_edges_symmetric(6, &[(0, 1), (0, 2), (3, 4)]);
+        let p = bfs_order(&g);
+        // All six vertices appear exactly once (bijectivity is validated by
+        // the constructor; this checks total coverage).
+        assert_eq!(p.len(), 6);
+        // The isolated vertex 5 comes last (degree 0 seed).
+        assert_eq!(p.to_old(5), 5);
+    }
+
+    #[test]
+    fn random_shuffle_is_deterministic_and_seed_sensitive() {
+        let a = random_shuffle(100, 7);
+        let b = random_shuffle(100, 7);
+        let c = random_shuffle(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Permutation::identity(100));
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = sample();
+        for reorder in [Reorder::Degree, Reorder::Bfs, Reorder::Random] {
+            let p = reorder.permutation(&g, 11).unwrap();
+            let h = g.permute(&p);
+            assert_eq!(h.num_vertices(), g.num_vertices());
+            assert_eq!(h.num_edges(), g.num_edges());
+            for old_u in 0..g.num_vertices() as VertexId {
+                assert_eq!(g.degree(old_u), h.degree(p.to_new(old_u)));
+                for &old_v in g.neighbors(old_u) {
+                    assert!(
+                        h.has_edge(p.to_new(old_u), p.to_new(old_v)),
+                        "{reorder}: edge ({old_u},{old_v}) lost"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_parents_back_yields_valid_tree_with_same_depths() {
+        let g = sample();
+        let root: VertexId = 3;
+        let reference = sequential_levels(&g, root);
+        for reorder in [Reorder::Degree, Reorder::Bfs, Reorder::Random] {
+            let p = reorder.permutation(&g, 5).unwrap();
+            let h = g.permute(&p);
+            let permuted_parents = sequential_parents(&h, p.to_new(root));
+            let parents = p.map_parents_back(&permuted_parents);
+            validate_bfs_tree(&g, root, &parents).unwrap();
+            let depths = sequential_levels(&h, p.to_new(root));
+            for old in 0..g.num_vertices() {
+                assert_eq!(
+                    reference[old],
+                    depths[p.to_new(old as VertexId) as usize],
+                    "{reorder}: depth of old vertex {old}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_parse_name_tag_roundtrip() {
+        for r in Reorder::ALL {
+            assert_eq!(Reorder::parse(r.name()), Some(r));
+            assert_eq!(Reorder::from_tag(r.tag()), Some(r));
+            assert_eq!(r.to_string(), r.name());
+        }
+        assert_eq!(Reorder::parse("hilbert"), None);
+        assert_eq!(Reorder::from_tag(99), None);
+        assert!(Reorder::None.permutation(&sample(), 1).is_none());
+    }
+}

@@ -135,6 +135,68 @@ pub fn sequential_parents(graph: &CsrGraph, root: VertexId) -> Vec<VertexId> {
     parents
 }
 
+/// Hop depth of every vertex, derived purely from a BFS parent array by
+/// memoized parent-chain walking (`u32::MAX` for unreached vertices).
+///
+/// Graph-free and O(n): each vertex's chain is walked once, then cached —
+/// unlike re-running [`sequential_levels`], this prices a depth query at a
+/// scan of the parent array, which matters when a runner wants per-level
+/// counts after every search. Depths computed this way equal the BFS
+/// levels for any *valid* BFS tree (each tree path realizes the hop
+/// distance).
+///
+/// # Panics
+/// Panics on a cyclic parent chain or a chain that leaves the visited set
+/// (both indicate a corrupt parent array).
+pub fn depths_from_parents(parents: &[VertexId]) -> Vec<u32> {
+    let n = parents.len();
+    let mut depths = vec![u32::MAX; n];
+    let mut chain = Vec::new();
+    for v in 0..n {
+        if parents[v] == UNVISITED || depths[v] != u32::MAX {
+            continue;
+        }
+        let mut cur = v;
+        // Climb until a memoized depth or the root, stacking the path.
+        while depths[cur] == u32::MAX && parents[cur] as usize != cur {
+            chain.push(cur);
+            assert!(chain.len() <= n, "cycle in parent chain at vertex {v}");
+            cur = parents[cur] as usize;
+            assert!(
+                parents[cur] != UNVISITED,
+                "parent chain of vertex {v} leaves the visited set"
+            );
+        }
+        if depths[cur] == u32::MAX {
+            depths[cur] = 0; // the root
+        }
+        let mut d = depths[cur];
+        while let Some(u) = chain.pop() {
+            d += 1;
+            depths[u] = d;
+        }
+    }
+    depths
+}
+
+/// Per-depth vertex counts (`histogram[d]` = vertices at hop depth `d`),
+/// derived from a parent array via [`depths_from_parents`]. Two BFS runs
+/// over isomorphic graphs produce identical histograms, which makes this
+/// the equality check for reordering correctness.
+pub fn depth_histogram(parents: &[VertexId]) -> Vec<u64> {
+    let depths = depths_from_parents(parents);
+    let Some(&max) = depths.iter().filter(|&&d| d != u32::MAX).max() else {
+        return Vec::new();
+    };
+    let mut histogram = vec![0u64; max as usize + 1];
+    for &d in &depths {
+        if d != u32::MAX {
+            histogram[d as usize] += 1;
+        }
+    }
+    histogram
+}
+
 /// Number of directed edges whose source is reachable from `root` — the
 /// paper's `ma`, used as the numerator of every edges/second figure.
 pub fn reachable_edges(graph: &CsrGraph, levels: &[u32]) -> u64 {
@@ -253,6 +315,33 @@ mod tests {
         assert_eq!(info.visited, 4);
         assert_eq!(info.max_level, 2);
         assert_eq!(info.reachable_edges, 8);
+    }
+
+    #[test]
+    fn depths_from_parents_match_levels() {
+        let g = sample();
+        let parents = sequential_parents(&g, 0);
+        assert_eq!(depths_from_parents(&parents), sequential_levels(&g, 0));
+    }
+
+    #[test]
+    fn depth_histogram_counts_per_level() {
+        let g = sample();
+        let parents = sequential_parents(&g, 0);
+        // Level 0: {0}; level 1: {1, 3}; level 2: {2}; vertex 4 unreached.
+        assert_eq!(depth_histogram(&parents), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn depth_histogram_of_nothing_is_empty() {
+        assert!(depth_histogram(&[UNVISITED, UNVISITED]).is_empty());
+        assert!(depth_histogram(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle in parent chain")]
+    fn depths_reject_cyclic_chain() {
+        depths_from_parents(&[1, 0]);
     }
 
     #[test]

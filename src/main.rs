@@ -13,12 +13,14 @@
 use multicore_bfs::core::algo::hybrid::ForcedDirection;
 use multicore_bfs::core::components::connected_components;
 use multicore_bfs::core::kernel::run_kernel;
-use multicore_bfs::core::runner::{Algorithm, BfsRunner, ExecMode};
+use multicore_bfs::core::runner::{Algorithm, BfsRunner, ExecMode, DEFAULT_REORDER_SEED};
 use multicore_bfs::core::stcon::{st_connectivity, StConnectivity};
 use multicore_bfs::gen::grid::{GridBuilder, Stencil};
 use multicore_bfs::gen::prelude::*;
+use multicore_bfs::gen::stats::{degree_stats, locality_stats};
 use multicore_bfs::graph::csr::CsrGraph;
 use multicore_bfs::graph::io;
+use multicore_bfs::graph::reorder::Reorder;
 use multicore_bfs::machine::calibrate::{calibrate_host, CalibrationEffort};
 use multicore_bfs::machine::model::MachineModel;
 use multicore_bfs::prelude::validate_bfs_tree;
@@ -36,6 +38,7 @@ fn main() {
     match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "bfs" => cmd_bfs(&opts),
+        "info" => cmd_info(&opts),
         "kernel" => cmd_kernel(&opts),
         "components" => cmd_components(&opts),
         "stcon" => cmd_stcon(&opts),
@@ -54,15 +57,19 @@ fn usage(err: &str) -> ! {
         "usage: mcbfs <command> [flags]\n\
          commands:\n\
          \x20 generate    --kind uniform|rmat|ssca2|grid --scale N | --vertices N\n\
-         \x20             [--degree D] [--seed S] [--permute] --out PATH\n\
+         \x20             [--degree D] [--seed S] [--permute]\n\
+         \x20             [--reorder none|degree|bfs|random] --out PATH\n\
          \x20 bfs         --graph PATH [--root R] [--threads T]\n\
          \x20             [--algorithm seq|simple|single|multi:S|hybrid[:auto|td|bu|alt]]\n\
          \x20             [--mode native|model] [--machine ep|ex]\n\
+         \x20             [--reorder none|degree|bfs|random] [--reorder-seed S]\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
+         \x20 info        --graph PATH\n\
          \x20 kernel      --graph PATH [--searches K] [--threads T] [--seed S]\n\
          \x20 components  --graph PATH [--threads T]\n\
          \x20 stcon       --graph PATH --source S --target T\n\
          \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
+         \x20             [--reorder none|degree|bfs|random] [--reorder-seed S]\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
          \x20 calibrate   [--thorough]"
     );
@@ -145,10 +152,22 @@ fn write_exports(opts: &HashMap<String, String>, result: &multicore_bfs::core::B
 }
 
 fn load_graph(opts: &HashMap<String, String>) -> CsrGraph {
+    load_graph_tagged(opts).0
+}
+
+fn load_graph_tagged(opts: &HashMap<String, String>) -> (CsrGraph, Reorder) {
     let path = require(opts, "graph");
     let file = File::open(&path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
-    io::read_csr(&mut BufReader::new(file))
+    io::read_csr_tagged(&mut BufReader::new(file))
         .unwrap_or_else(|e| usage(&format!("cannot parse {path}: {e}")))
+}
+
+fn parse_reorder(opts: &HashMap<String, String>) -> Reorder {
+    match opts.get("reorder") {
+        None => Reorder::None,
+        Some(spec) => Reorder::parse(spec)
+            .unwrap_or_else(|| usage(&format!("bad --reorder {spec:?} (none|degree|bfs|random)"))),
+    }
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) {
@@ -177,15 +196,23 @@ fn cmd_generate(opts: &HashMap<String, String>) {
         }
         other => usage(&format!("unknown --kind {other:?}")),
     };
+    // Optional cache-locality relabelling, recorded in the file header so
+    // the saved graph is self-describing (`mcbfs info` surfaces it).
+    let reorder = parse_reorder(opts);
+    let graph = match reorder.permutation(&graph, get(opts, "reorder-seed", DEFAULT_REORDER_SEED)) {
+        None => graph,
+        Some(permutation) => graph.permute(&permutation),
+    };
     let out = require(opts, "out");
     let f = File::create(&out).unwrap_or_else(|e| usage(&format!("cannot create {out}: {e}")));
-    io::write_csr(&mut BufWriter::new(f), &graph).expect("serialize graph");
+    io::write_csr_tagged(&mut BufWriter::new(f), &graph, reorder).expect("serialize graph");
     println!(
-        "wrote {}: {} vertices, {} edges, max degree {}",
+        "wrote {}: {} vertices, {} edges, max degree {}, ordering {}",
         out,
         graph.num_vertices(),
         graph.num_edges(),
-        graph.max_degree()
+        graph.max_degree(),
+        reorder
     );
 }
 
@@ -229,24 +256,33 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
         other => usage(&format!("unknown --mode {other:?} (native|model)")),
     };
     let traced = opts.contains_key("trace") || opts.contains_key("metrics");
+    let reorder = parse_reorder(opts);
     let result = BfsRunner::new(&graph)
         .algorithm(algorithm)
         .threads(threads)
         .mode(mode)
         .traced(traced)
+        .reorder(reorder)
+        .reorder_seed(get(opts, "reorder-seed", DEFAULT_REORDER_SEED))
         .run(root);
     validate_bfs_tree(&graph, root, &result.parents)
         .unwrap_or_else(|e| usage(&format!("produced invalid tree: {e}")));
     let s = &result.stats;
+    let reorder_note = if reorder == Reorder::None {
+        String::new()
+    } else {
+        format!(" [reorder={reorder}, results in original ids]")
+    };
     println!(
-        "[{}] visited {} of {} vertices in {} levels; {:.3} ms; {:.1} ME/s ({} edges)",
+        "[{}] visited {} of {} vertices in {} levels; {:.3} ms; {:.1} ME/s ({} edges){}",
         mode_name,
         s.vertices_visited,
         graph.num_vertices(),
         s.levels,
         s.seconds * 1e3,
         s.me_per_s(),
-        s.edges_traversed
+        s.edges_traversed,
+        reorder_note
     );
     write_exports(opts, &result);
     if matches!(algorithm, Algorithm::Hybrid { .. }) {
@@ -257,6 +293,30 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
             skipped
         );
     }
+}
+
+/// `mcbfs info`: structural, degree and cache-locality facts of a saved
+/// graph, including the vertex ordering recorded in its header.
+fn cmd_info(opts: &HashMap<String, String>) {
+    let (graph, reorder) = load_graph_tagged(opts);
+    println!(
+        "{}: {} vertices, {} directed edges, {:.1} MB",
+        require(opts, "graph"),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.memory_bytes() as f64 / (1 << 20) as f64
+    );
+    println!("  vertex ordering: {reorder}");
+    let d = degree_stats(&graph);
+    println!(
+        "  degree: min {} / mean {:.2} / max {}; std dev {:.2}; gini {:.3}; {} isolated",
+        d.min, d.mean, d.max, d.std_dev, d.gini, d.isolated
+    );
+    let l = locality_stats(&graph);
+    println!(
+        "  locality: mean neighbor ID-gap {:.1}, mean adjacency span {:.1}, max gap {}",
+        l.mean_neighbor_gap, l.mean_adjacency_span, l.max_neighbor_gap
+    );
 }
 
 fn cmd_kernel(opts: &HashMap<String, String>) {
@@ -319,6 +379,8 @@ fn cmd_model(opts: &HashMap<String, String>) {
         .threads(threads)
         .mode(ExecMode::model(model.clone()))
         .traced(traced)
+        .reorder(parse_reorder(opts))
+        .reorder_seed(get(opts, "reorder-seed", DEFAULT_REORDER_SEED))
         .run(get(opts, "root", 0u32));
     println!(
         "{} @ {} threads ({} sockets): predicted {:.3} ms, {:.1} ME/s",

@@ -1,0 +1,68 @@
+//! Property test: a BFS executed on a cache-locality-reordered copy of the
+//! graph, with the runner mapping results back to original vertex IDs, is
+//! indistinguishable from a BFS on the original graph — every vertex keeps
+//! its hop depth (relabelling is an isomorphism, and hop distances are
+//! isomorphism-invariant) and the mapped-back parents form a valid BFS
+//! tree of the *original* graph. Parents themselves may legitimately
+//! differ between orderings (adjacency order changes tie-breaking), which
+//! is why depth equivalence, not parent equality, is the contract.
+
+use multicore_bfs::core::runner::{Algorithm, BfsRunner};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::csr::CsrGraph;
+use multicore_bfs::graph::reorder::Reorder;
+use multicore_bfs::graph::validate::{depths_from_parents, sequential_levels, validate_bfs_tree};
+use proptest::prelude::*;
+
+fn build(family: usize, seed: u64) -> CsrGraph {
+    match family {
+        0 => RmatBuilder::new(9, 6).seed(seed).build(),
+        1 => UniformBuilder::new(700, 5).seed(seed).build(),
+        _ => Ssca2Builder::new(600)
+            .max_clique_size(10)
+            .seed(seed)
+            .build(),
+    }
+}
+
+proptest! {
+    // Each case internally loops over 4 orderings × 3 algorithms, so a
+    // small case count still covers dozens of full traversals.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn reordered_bfs_preserves_depths_and_tree_validity(
+        family in 0usize..3,
+        seed in 1u64..10_000,
+        root_pick in 0usize..64,
+        reorder_seed in 1u64..1_000,
+    ) {
+        let g = build(family, seed);
+        let root = (root_pick % g.num_vertices()) as u32;
+        let reference = sequential_levels(&g, root);
+        for &reorder in &Reorder::ALL {
+            for algo in [
+                Algorithm::Sequential,
+                Algorithm::SingleSocket,
+                Algorithm::hybrid(),
+            ] {
+                let r = BfsRunner::new(&g)
+                    .algorithm(algo)
+                    .threads(2)
+                    .reorder(reorder)
+                    .reorder_seed(reorder_seed)
+                    .run(root);
+                // Mapped-back parents must be a valid BFS tree of the
+                // ORIGINAL graph — edges exist under original IDs, the
+                // root is self-parented, levels are consistent.
+                validate_bfs_tree(&g, root, &r.parents)
+                    .unwrap_or_else(|e| panic!("{reorder} {algo:?}: {e}"));
+                let depths = depths_from_parents(&r.parents);
+                prop_assert_eq!(
+                    &depths, &reference,
+                    "{} {:?}: depth mismatch vs sequential reference", reorder, algo
+                );
+            }
+        }
+    }
+}
