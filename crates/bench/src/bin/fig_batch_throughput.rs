@@ -1,0 +1,152 @@
+//! Batched query serving: aggregate TEPS and latency vs batch size.
+//!
+//! Not a figure of the source paper — this quantifies the `mcbfs-query`
+//! wave engine (DESIGN.md §"Batched multi-source queries") against the
+//! paper's one-search-at-a-time regime. A fixed pool of 64 distance
+//! queries over sampled roots is served with `max_batch` swept 1 → 64; at
+//! batch 1 every wave is a singleton falling back to the sequential
+//! single-search algorithm (the baseline loop), and at batch 64 all
+//! queries share one bit-parallel MS-BFS sweep. For each batch size we
+//! report:
+//!
+//! * **aggregate TEPS** — Σ reachable adjacency entries over all 64
+//!   queries divided by the serving makespan. The numerator is identical
+//!   at every batch size (same roots, same reached sets), so the curve is
+//!   a pure wall-time comparison;
+//! * **latency** — p50 and p99 per-query latency (admission to wave
+//!   completion). Wider batches raise throughput but also queue queries
+//!   behind larger waves, which is exactly the trade-off the figure shows.
+//!
+//! Model mode prices the deterministic executor's work profile on the
+//! Nehalem-EP model, so the curve reproduces bit-identically anywhere.
+//!
+//! `--smoke` shrinks the workloads to ~1K vertices and batch sizes
+//! {1, 8, 64}: a CI bit-rot check, not a measurement.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_bench::workloads::{rate_cases, Family};
+use mcbfs_core::kernel::sample_roots;
+use mcbfs_core::runner::{Algorithm, ExecMode};
+use mcbfs_gen::prelude::*;
+use mcbfs_graph::csr::CsrGraph;
+use mcbfs_machine::model::MachineModel;
+use mcbfs_query::{Query, QueryEngine};
+
+const POOL: usize = 64;
+const SEED: u64 = 2026;
+
+fn build_workloads(args: &Args) -> Vec<(&'static str, CsrGraph)> {
+    if args.smoke {
+        return vec![
+            ("uniform", UniformBuilder::new(1 << 10, 8).seed(1).build()),
+            (
+                "rmat",
+                RmatBuilder::new(10, 8).seed(2).permute(true).build(),
+            ),
+        ];
+    }
+    vec![
+        (
+            "uniform",
+            rate_cases(Family::Uniform, args.scale)[0].build(),
+        ),
+        ("rmat", rate_cases(Family::Rmat, args.scale)[0].build()),
+    ]
+}
+
+fn batch_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![1, 8, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+}
+
+fn main() {
+    let args = Args::parse("fig_batch_throughput");
+    let threads = match (&args.threads, args.smoke) {
+        (Some(t), _) => t[0],
+        (None, true) => 1,
+        (None, false) => 4,
+    };
+    let mut report = Report::new(
+        "Batched query serving: aggregate TEPS and per-query latency vs \
+         batch size (64-query pool, sequential singleton fallback)",
+        "batch",
+    );
+
+    for (family, graph) in build_workloads(&args) {
+        let roots = sample_roots(&graph, POOL, SEED);
+        let queries: Vec<Query> = roots
+            .iter()
+            .map(|&r| Query::Distances { root: r })
+            .collect();
+        eprintln!(
+            "# {family}: {} vertices, {} directed edges, {} queries, {} threads",
+            graph.num_vertices(),
+            graph.num_edges(),
+            queries.len(),
+            threads
+        );
+        for &batch in &batch_sizes(args.smoke) {
+            let engine = |mode: ExecMode| {
+                QueryEngine::new(&graph)
+                    .threads(threads)
+                    .max_batch(batch)
+                    .fallback(Algorithm::Sequential)
+                    .mode(mode)
+            };
+            if args.mode.wants_native() {
+                let r = engine(ExecMode::Native).execute(&queries);
+                report.push(
+                    "aggregate_teps_native",
+                    &format!("{family} native"),
+                    batch as f64,
+                    r.aggregate_teps() / 1e6,
+                    "MTEPS",
+                );
+                report.push(
+                    "latency_p50_native",
+                    &format!("{family} p50"),
+                    batch as f64,
+                    r.latency_quantile(0.5) * 1e3,
+                    "ms",
+                );
+                report.push(
+                    "latency_p99_native",
+                    &format!("{family} p99"),
+                    batch as f64,
+                    r.latency_quantile(0.99) * 1e3,
+                    "ms",
+                );
+                println!(
+                    "# {family} batch {batch}: {} waves, {:.2} MTEPS, \
+                     p50 {:.3} ms, p99 {:.3} ms",
+                    r.waves.len(),
+                    r.aggregate_teps() / 1e6,
+                    r.latency_quantile(0.5) * 1e3,
+                    r.latency_quantile(0.99) * 1e3
+                );
+            }
+            if args.mode.wants_model() {
+                let r = engine(ExecMode::model(MachineModel::nehalem_ep())).execute(&queries);
+                report.push(
+                    "aggregate_teps_model_ep",
+                    &format!("{family} model"),
+                    batch as f64,
+                    r.aggregate_teps() / 1e6,
+                    "MTEPS",
+                );
+                report.push(
+                    "latency_p99_model_ep",
+                    &format!("{family} model p99"),
+                    batch as f64,
+                    r.latency_quantile(0.99) * 1e3,
+                    "ms",
+                );
+            }
+        }
+    }
+    report.finish(&args.out);
+}

@@ -32,7 +32,7 @@ use crate::algo::{NativeRun, DEQUEUE_CHUNK, ENQUEUE_BATCH};
 use crate::instrument::Recorder;
 use core::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use crossbeam::utils::CachePadded;
-use mcbfs_graph::bitmap::AtomicBitmap;
+use mcbfs_graph::bitmap::{bits_of_word, AtomicBitmap};
 use mcbfs_graph::csr::{CsrGraph, VertexId};
 use mcbfs_graph::frontier::{chunk_of, Frontier};
 use mcbfs_machine::profile::{Direction, ThreadCounts};
@@ -205,14 +205,12 @@ pub fn bfs_hybrid(graph: &CsrGraph, root: VertexId, threads: usize, opts: Hybrid
                 let cur = dense[parity].as_bitmap();
                 let nxt = dense[1 - parity].as_bitmap();
                 for wi in chunk_of(visited.num_words(), tid, threads) {
-                    let mut unvisited = !visited.word(wi) & visited.word_mask(wi);
+                    let unvisited = !visited.word(wi) & visited.word_mask(wi);
                     if unvisited == 0 {
                         continue;
                     }
                     let mut claimed_mask = 0u64;
-                    while unvisited != 0 {
-                        let bit = unvisited.trailing_zeros() as usize;
-                        unvisited &= unvisited - 1;
+                    for bit in bits_of_word(unvisited) {
                         let u = (wi * 64 + bit) as VertexId;
                         counts.vertices_scanned += 1;
                         let neigh = graph.neighbors(u);

@@ -11,6 +11,7 @@
 
 use crate::algo::sequential::bfs_sequential;
 use crate::algo::single_socket::{bfs_single_socket, SingleSocketOpts};
+use mcbfs_graph::bitmap::AtomicBitmap;
 use mcbfs_graph::csr::{CsrGraph, VertexId, UNVISITED};
 
 /// Component labelling of a graph.
@@ -57,13 +58,17 @@ pub fn connected_components(
     let n = graph.num_vertices();
     let mut labels = vec![UNVISITED; n];
     let mut sizes: Vec<(VertexId, usize)> = Vec::new();
-    let mut cursor: usize = 0;
-    while cursor < n {
-        if labels[cursor] != UNVISITED {
-            cursor += 1;
-            continue;
-        }
-        let root = cursor as VertexId;
+    // The unlabelled vertices form a shrinking work-list bitmap; the next
+    // component root is the lowest surviving bit, found with the shared
+    // word-level scan instead of a per-vertex label sweep.
+    let unlabelled = AtomicBitmap::from_ones(n, 0..n);
+    let mut cursor_word = 0usize;
+    while let Some(root) = unlabelled
+        .iter_set_bits(cursor_word..unlabelled.num_words())
+        .next()
+    {
+        cursor_word = root / 64;
+        let root = root as VertexId;
         // Estimate whether this component justifies the thread team: a
         // quick bounded sequential probe of up to `parallel_threshold`
         // vertices.
@@ -78,11 +83,11 @@ pub fn connected_components(
         for (v, &p) in parents.iter().enumerate() {
             if p != UNVISITED && labels[v] == UNVISITED {
                 labels[v] = root;
+                unlabelled.clear_bit(v);
                 size += 1;
             }
         }
         sizes.push((root, size));
-        cursor += 1;
     }
     sizes.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Components { labels, sizes }

@@ -9,6 +9,7 @@
 //! substrate rather than a new algorithm.
 
 use mcbfs_graph::csr::{CsrGraph, VertexId, UNVISITED};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Result of an st-connectivity query.
@@ -19,6 +20,8 @@ pub enum StConnectivity {
     Connected {
         /// A shortest `s`-`t` path, `path[0] == s`, `path.last() == t`.
         path: Vec<VertexId>,
+        /// Vertices labelled by either frontier before they met.
+        explored: usize,
     },
     /// No path exists.
     Disconnected {
@@ -31,8 +34,48 @@ impl StConnectivity {
     /// Hop distance if connected.
     pub fn distance(&self) -> Option<usize> {
         match self {
-            StConnectivity::Connected { path } => Some(path.len() - 1),
+            StConnectivity::Connected { path, .. } => Some(path.len() - 1),
             StConnectivity::Disconnected { .. } => None,
+        }
+    }
+
+    /// Vertices labelled by the bidirectional search, whichever way it
+    /// ended.
+    pub fn explored(&self) -> usize {
+        match *self {
+            StConnectivity::Connected { explored, .. }
+            | StConnectivity::Disconnected { explored } => explored,
+        }
+    }
+}
+
+/// Serializable summary of one st-connectivity query, for `--stats-json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StConReport {
+    /// Source endpoint.
+    pub source: VertexId,
+    /// Target endpoint.
+    pub target: VertexId,
+    /// Whether a path exists.
+    pub connected: bool,
+    /// Shortest-path hop count when connected.
+    pub distance: Option<usize>,
+    /// Vertices the bidirectional search labelled.
+    pub explored: usize,
+    /// Wall-clock seconds of the query.
+    pub seconds: f64,
+}
+
+impl StConReport {
+    /// Summarizes a finished query.
+    pub fn new(s: VertexId, t: VertexId, result: &StConnectivity, seconds: f64) -> Self {
+        Self {
+            source: s,
+            target: t,
+            connected: matches!(result, StConnectivity::Connected { .. }),
+            distance: result.distance(),
+            explored: result.explored(),
+            seconds,
         }
     }
 }
@@ -49,7 +92,10 @@ pub fn st_connectivity(graph: &CsrGraph, s: VertexId, t: VertexId) -> StConnecti
         "endpoints out of range"
     );
     if s == t {
-        return StConnectivity::Connected { path: vec![s] };
+        return StConnectivity::Connected {
+            path: vec![s],
+            explored: 1,
+        };
     }
     // parent_fwd grows from s, parent_bwd from t.
     let mut parent_fwd = vec![UNVISITED; n];
@@ -93,6 +139,7 @@ pub fn st_connectivity(graph: &CsrGraph, s: VertexId, t: VertexId) -> StConnecti
         if let Some(m) = meet {
             return StConnectivity::Connected {
                 path: stitch_path(&parent_fwd, &parent_bwd, s, t, m),
+                explored,
             };
         }
     }
@@ -133,7 +180,10 @@ mod tests {
         let g = CsrGraph::from_edges(3, &[]);
         assert_eq!(
             st_connectivity(&g, 1, 1),
-            StConnectivity::Connected { path: vec![1] }
+            StConnectivity::Connected {
+                path: vec![1],
+                explored: 1,
+            }
         );
     }
 
@@ -143,7 +193,8 @@ mod tests {
         let g = CsrGraph::from_edges_symmetric(10, &edges);
         let r = st_connectivity(&g, 0, 9);
         assert_eq!(r.distance(), Some(9));
-        if let StConnectivity::Connected { path } = r {
+        assert!(r.explored() >= 10, "both frontiers label the whole path");
+        if let StConnectivity::Connected { path, .. } = r {
             assert_eq!(path, (0..10u32).collect::<Vec<_>>());
         }
     }
@@ -165,7 +216,7 @@ mod tests {
         for t in (0..1_500u32).step_by(111) {
             let r = st_connectivity(&g, 7, t);
             match (&r, levels_from_7[t as usize]) {
-                (StConnectivity::Connected { path }, d) => {
+                (StConnectivity::Connected { path, .. }, d) => {
                     assert_ne!(d, u32::MAX, "t={t}");
                     assert_eq!(path.len() as u32 - 1, d, "t={t}: not shortest");
                     assert_eq!(path[0], 7);
@@ -194,11 +245,32 @@ mod tests {
             .find(|&v| levels[v as usize] == 3)
             .expect("distance-3 vertex exists");
         match st_connectivity(&g, 0, target) {
-            StConnectivity::Connected { path } => {
+            StConnectivity::Connected { path, explored } => {
                 assert_eq!(path.len() - 1, 3);
+                let full_bfs = levels.iter().filter(|&&d| d != u32::MAX).count();
+                assert!(
+                    explored < full_bfs / 2,
+                    "bidirectional explored {explored} of {full_bfs}"
+                );
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn report_summarizes_both_outcomes() {
+        let g = CsrGraph::from_edges_symmetric(4, &[(0, 1), (2, 3)]);
+        let r = st_connectivity(&g, 0, 1);
+        let rep = StConReport::new(0, 1, &r, 0.5);
+        assert!(rep.connected);
+        assert_eq!(rep.distance, Some(1));
+        assert_eq!(rep.explored, r.explored());
+        assert_eq!(rep.seconds, 0.5);
+        let d = st_connectivity(&g, 0, 3);
+        let rep = StConReport::new(0, 3, &d, 0.1);
+        assert!(!rep.connected);
+        assert_eq!(rep.distance, None);
+        assert!(rep.explored > 0);
     }
 
     #[test]

@@ -122,6 +122,16 @@ impl AtomicBitmap {
         self.words[w].load(Ordering::Relaxed) & mask != 0
     }
 
+    /// Atomically ORs `mask` into storage word `i` and returns the word's
+    /// *previous* value — the word-granular claim of the bit-parallel
+    /// multi-source BFS, where one `lock or` advances up to 64 searches.
+    /// `mask & !previous` is exactly the set of bits this call newly set,
+    /// so callers can attribute each bit to a unique winner under races.
+    #[inline(always)]
+    pub fn or_word(&self, i: usize, mask: u64) -> u64 {
+        self.words[i].fetch_or(mask, Ordering::AcqRel)
+    }
+
     /// Unconditional atomic set; returns `Claimed` if this call flipped the
     /// bit from 0 to 1, `LostRace` otherwise. This is the paper's
     /// `LockedReadSet` (`__sync_or_and_fetch` on the original system).
@@ -134,6 +144,15 @@ impl AtomicBitmap {
         } else {
             ClaimOutcome::LostRace
         }
+    }
+
+    /// Atomically clears one bit (the inverse of [`AtomicBitmap::set_atomic`]);
+    /// used by consumers that treat the bitmap as a shrinking work-list,
+    /// such as the connected-components root cursor.
+    #[inline]
+    pub fn clear_bit(&self, bit: usize) {
+        let (w, mask) = self.index(bit);
+        self.words[w].fetch_and(!mask, Ordering::AcqRel);
     }
 
     /// Test-then-set: checks the bit with a plain load and only issues the
@@ -155,7 +174,7 @@ impl AtomicBitmap {
 
     /// Plain load of storage word `i` — the word-level read of the
     /// bottom-up sweep, which inspects 64 visited bits at once.
-    #[inline]
+    #[inline(always)]
     pub fn word(&self, i: usize) -> u64 {
         self.words[i].load(Ordering::Relaxed)
     }
@@ -164,7 +183,7 @@ impl AtomicBitmap {
     /// word `i` is owned by one thread for the duration of the phase (the
     /// bottom-up sweep partitions words contiguously across threads); a
     /// barrier must publish the stores before other threads read them.
-    #[inline]
+    #[inline(always)]
     pub fn set_word(&self, i: usize, value: u64) {
         self.words[i].store(value, Ordering::Relaxed);
     }
@@ -203,18 +222,41 @@ impl AtomicBitmap {
     /// bits beyond `bits` in the final word are masked off up front, so the
     /// iteration stops at `bits` without per-index range checks.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, w)| {
-            let mut word = w.load(Ordering::Relaxed) & self.word_mask(wi);
-            core::iter::from_fn(move || {
-                if word == 0 {
-                    return None;
-                }
-                let bit = word.trailing_zeros() as usize;
-                word &= word - 1;
-                Some(wi * 64 + bit)
-            })
+        self.iter_set_bits(0..self.num_words())
+    }
+
+    /// Iterator over the global indices of set bits within the storage-word
+    /// range `words` — the one word-level scan loop of the crate. The
+    /// frontier sparsifier, the connected-components root cursor and the
+    /// multi-source BFS all consume this instead of open-coding the
+    /// `trailing_zeros` walk over [`AtomicBitmap::word`]. Out-of-range bits
+    /// in the final partial word are masked off.
+    pub fn iter_set_bits(
+        &self,
+        words: core::ops::Range<usize>,
+    ) -> impl Iterator<Item = usize> + '_ {
+        words.flat_map(move |wi| {
+            bits_of_word(self.word(wi) & self.word_mask(wi)).map(move |bit| wi * 64 + bit)
         })
     }
+}
+
+/// Iterator over the set-bit positions (0–63, ascending) of one 64-bit
+/// word, via the standard `trailing_zeros` / clear-lowest-bit walk. Shared
+/// by every word-granular scan: frontier conversion, the hybrid bottom-up
+/// sweep (over the *complement* of the visited word) and the bit-parallel
+/// multi-source BFS (over newly-discovered source masks).
+#[inline(always)]
+pub fn bits_of_word(word: u64) -> impl Iterator<Item = usize> {
+    let mut word = word;
+    core::iter::from_fn(move || {
+        if word == 0 {
+            return None;
+        }
+        let bit = word.trailing_zeros() as usize;
+        word &= word - 1;
+        Some(bit)
+    })
 }
 
 impl core::fmt::Debug for AtomicBitmap {
@@ -272,6 +314,18 @@ mod tests {
         assert_eq!(second, ClaimOutcome::AlreadyVisited);
         assert!(!second.used_atomic());
         assert!(!second.claimed());
+    }
+
+    #[test]
+    fn clear_bit_clears_only_that_bit() {
+        let bm = AtomicBitmap::new(128);
+        bm.set_atomic(64);
+        bm.set_atomic(65);
+        bm.clear_bit(64);
+        assert!(!bm.test(64));
+        assert!(bm.test(65));
+        bm.clear_bit(64); // idempotent
+        assert_eq!(bm.count_ones(), 1);
     }
 
     #[test]
@@ -341,6 +395,48 @@ mod tests {
         bm.set_word(1, u64::MAX); // bits 64..128, only 64..70 in range
         let got: Vec<_> = bm.iter_ones().collect();
         assert_eq!(got, (64..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn or_word_returns_previous_and_accumulates() {
+        let bm = AtomicBitmap::new(128);
+        assert_eq!(bm.or_word(1, 0b0110), 0);
+        assert_eq!(bm.or_word(1, 0b1100), 0b0110);
+        assert_eq!(bm.word(1), 0b1110);
+        // The newly-set bits of the second call are exactly mask & !prev.
+        assert_eq!(0b1100 & !0b0110u64, 0b1000);
+    }
+
+    #[test]
+    fn bits_of_word_walks_ascending() {
+        assert_eq!(bits_of_word(0).count(), 0);
+        assert_eq!(bits_of_word(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            bits_of_word(0x8000_0000_0000_0005).collect::<Vec<_>>(),
+            vec![0, 2, 63]
+        );
+        assert_eq!(bits_of_word(u64::MAX).count(), 64);
+    }
+
+    #[test]
+    fn iter_set_bits_respects_range_and_mask() {
+        let bm = AtomicBitmap::new(200);
+        for &b in &[3usize, 64, 70, 130, 199] {
+            bm.set_atomic(b);
+        }
+        assert_eq!(
+            bm.iter_set_bits(0..bm.num_words()).collect::<Vec<_>>(),
+            vec![3, 64, 70, 130, 199]
+        );
+        assert_eq!(bm.iter_set_bits(1..2).collect::<Vec<_>>(), vec![64, 70]);
+        assert_eq!(bm.iter_set_bits(2..2).count(), 0);
+        // Stray bits past `len` are masked off, as in iter_ones.
+        let partial = AtomicBitmap::new(70);
+        partial.set_word(1, u64::MAX);
+        assert_eq!(
+            partial.iter_set_bits(1..2).collect::<Vec<_>>(),
+            (64..70).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl CsrGraph {
     }
 
     /// The adjacency list of `v`, sorted ascending.
-    #[inline]
+    #[inline(always)]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let s = self.offsets[v as usize] as usize;
         let e = self.offsets[v as usize + 1] as usize;
@@ -163,7 +163,7 @@ impl CsrGraph {
     }
 
     /// Out-degree of `v`.
-    #[inline]
+    #[inline(always)]
     pub fn degree(&self, v: VertexId) -> usize {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
     }

@@ -123,15 +123,7 @@ impl Frontier {
     ) -> usize {
         let bitmap = self.as_bitmap();
         let words = chunk_of(bitmap.num_words(), tid, threads);
-        let mut out: Vec<VertexId> = Vec::new();
-        for wi in words {
-            let mut word = bitmap.word(wi) & bitmap.word_mask(wi);
-            while word != 0 {
-                let bit = word.trailing_zeros() as usize;
-                word &= word - 1;
-                out.push((wi * 64 + bit) as VertexId);
-            }
-        }
+        let out: Vec<VertexId> = bitmap.iter_set_bits(words).map(|b| b as VertexId).collect();
         sparse.push_batch(&out);
         out.len()
     }

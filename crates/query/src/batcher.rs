@@ -1,0 +1,230 @@
+//! Admission control: collect submitted queries into waves.
+//!
+//! The serving loop's contract is the classic batching trade-off — wait a
+//! little to fill a wide wave (throughput), but never hold a query longer
+//! than `max_wait` (latency). Pending queries live in a
+//! [`SharedQueue`] — the same fetch-add frontier array the BFS levels use —
+//! so submission from concurrent producers is one cursor reservation, and
+//! sealing a wave is one `take_chunk`.
+
+use crate::engine::Query;
+use crate::msbfs::MAX_SOURCES;
+use mcbfs_sync::ticket::TicketLock;
+use mcbfs_sync::workq::SharedQueue;
+use mcbfs_trace::{EventKind, TraceEvent};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Admission policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatcherOpts {
+    /// Seal a wave as soon as this many queries are pending (clamped to
+    /// `1..=`[`MAX_SOURCES`]).
+    pub max_batch: usize,
+    /// Seal a partial wave once its oldest query has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatcherOpts {
+    fn default() -> Self {
+        Self {
+            max_batch: MAX_SOURCES,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One queued query with its submission ticket.
+#[derive(Clone, Copy, Debug, Default)]
+struct Pending {
+    id: u64,
+    query: Query,
+}
+
+/// Collects concurrently-submitted queries and seals them into waves of at
+/// most `max_batch`, in submission order.
+pub struct QueryBatcher {
+    queue: SharedQueue<Pending>,
+    opts: BatcherOpts,
+    next_id: AtomicU64,
+    taken: AtomicUsize,
+    /// When the oldest still-pending query arrived (None when drained).
+    oldest: TicketLock<Option<Instant>>,
+}
+
+impl QueryBatcher {
+    /// A batcher able to hold `capacity` queries between resets.
+    pub fn new(opts: BatcherOpts, capacity: usize) -> Self {
+        let opts = BatcherOpts {
+            max_batch: opts.max_batch.clamp(1, MAX_SOURCES),
+            ..opts
+        };
+        Self {
+            queue: SharedQueue::with_capacity(capacity.max(1)),
+            opts,
+            next_id: AtomicU64::new(0),
+            taken: AtomicUsize::new(0),
+            oldest: TicketLock::new(None),
+        }
+    }
+
+    /// The effective (clamped) admission policy.
+    pub fn opts(&self) -> BatcherOpts {
+        self.opts
+    }
+
+    /// Submits one query, returning its admission ticket (sequential from
+    /// 0 — also its index in the submission order).
+    pub fn submit(&self, query: Query) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.queue.push(Pending { id, query });
+        self.oldest.lock().get_or_insert_with(Instant::now);
+        id
+    }
+
+    /// Queries submitted but not yet sealed into a wave.
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.taken.load(Ordering::Acquire)
+    }
+
+    /// True when the policy says a wave should be sealed now: a full batch
+    /// is pending, or a partial one has aged past `max_wait`.
+    pub fn ready(&self) -> bool {
+        let pending = self.pending();
+        if pending >= self.opts.max_batch {
+            return true;
+        }
+        pending > 0
+            && self
+                .oldest
+                .lock()
+                .is_some_and(|t| t.elapsed() >= self.opts.max_wait)
+    }
+
+    /// Seals and returns the next wave (up to `max_batch` queries in
+    /// submission order), or `None` when nothing is pending. Records a
+    /// [`EventKind::BatchAdmit`] span covering the oldest query's wait when
+    /// a trace session is active.
+    pub fn take_wave(&self) -> Option<Vec<(u64, Query)>> {
+        let chunk = self.queue.take_chunk(self.opts.max_batch)?;
+        self.taken.fetch_add(chunk.len(), Ordering::AcqRel);
+        let waited = {
+            let mut oldest = self.oldest.lock();
+            let waited = oldest.map(|t| t.elapsed()).unwrap_or_default();
+            *oldest = (self.pending() > 0).then(Instant::now);
+            waited
+        };
+        if mcbfs_trace::enabled() {
+            // Backdate the span to the first admission so the trace shows
+            // the true batching delay, not just the seal call.
+            let now = mcbfs_trace::now_ns();
+            let dur = waited.as_nanos() as u64;
+            mcbfs_trace::inject(
+                0,
+                vec![TraceEvent {
+                    start_ns: now.saturating_sub(dur),
+                    dur_ns: dur,
+                    kind: EventKind::BatchAdmit,
+                    arg: chunk.len() as u64,
+                }],
+            );
+        }
+        Some(chunk.iter().map(|p| (p.id, p.query)).collect())
+    }
+
+    /// Seals everything pending into consecutive waves (a flush — ignores
+    /// `max_wait`).
+    pub fn drain(&self) -> Vec<Vec<(u64, Query)>> {
+        let mut waves = Vec::new();
+        while let Some(wave) = self.take_wave() {
+            waves.push(wave);
+        }
+        waves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(root: u32) -> Query {
+        Query::Distances { root }
+    }
+
+    #[test]
+    fn seals_in_submission_order_with_max_batch() {
+        let b = QueryBatcher::new(
+            BatcherOpts {
+                max_batch: 3,
+                max_wait: Duration::from_secs(60),
+            },
+            10,
+        );
+        for i in 0..7 {
+            assert_eq!(b.submit(q(i)), i as u64);
+        }
+        assert!(b.ready(), "full batch pending");
+        let waves = b.drain();
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0].len(), 3);
+        assert_eq!(waves[2].len(), 1);
+        let ids: Vec<u64> = waves.iter().flatten().map(|&(id, _)| id).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+        assert_eq!(b.pending(), 0);
+        assert!(b.take_wave().is_none());
+    }
+
+    #[test]
+    fn partial_wave_ready_only_after_max_wait() {
+        let b = QueryBatcher::new(
+            BatcherOpts {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+            },
+            4,
+        );
+        assert!(!b.ready(), "empty batcher never ready");
+        b.submit(q(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.ready(), "aged partial wave is ready");
+        assert_eq!(b.take_wave().unwrap().len(), 1);
+        assert!(!b.ready());
+    }
+
+    #[test]
+    fn max_batch_clamped_to_kernel_width() {
+        let b = QueryBatcher::new(
+            BatcherOpts {
+                max_batch: 1000,
+                max_wait: Duration::ZERO,
+            },
+            128,
+        );
+        assert_eq!(b.opts().max_batch, MAX_SOURCES);
+        for i in 0..80 {
+            b.submit(q(i));
+        }
+        let waves = b.drain();
+        assert_eq!(waves[0].len(), MAX_SOURCES);
+        assert_eq!(waves[1].len(), 80 - MAX_SOURCES);
+    }
+
+    #[test]
+    fn concurrent_submission_loses_nothing() {
+        let b = QueryBatcher::new(BatcherOpts::default(), 400);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        b.submit(q(t * 100 + i));
+                    }
+                });
+            }
+        });
+        let waves = b.drain();
+        let mut ids: Vec<u64> = waves.iter().flatten().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..400).collect::<Vec<_>>());
+    }
+}

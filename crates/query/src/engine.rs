@@ -1,0 +1,766 @@
+//! The batched query engine: admit heterogeneous queries, execute in waves.
+//!
+//! Queries are sealed into waves of up to [`MAX_SOURCES`] by the
+//! [`QueryBatcher`], then each wave runs the bit-parallel multi-source
+//! kernel ([`crate::msbfs`]) — or falls back to the paper's single-search
+//! algorithms for singleton waves, where MS-BFS has no sharing to exploit.
+//! Wave dispatch generalizes `core::throughput`: with `sockets > 1`,
+//! concurrent dispatchers each drive their own wave on their own thread
+//! group — the multi-instance regime of the paper's Fig. 10, with waves in
+//! place of whole independent benchmark instances.
+//!
+//! Execution is mode-polymorphic like `BfsRunner`: native waves measure
+//! wall-clock, model waves run the deterministic executor and price the
+//! resulting profiles with a [`MachineModel`] — so a batched serving
+//! experiment is exactly reproducible on this host.
+
+use crate::batcher::{BatcherOpts, QueryBatcher};
+use crate::msbfs::{
+    depth_histogram_of, ms_bfs_deterministic_raw, ms_bfs_raw, reachable_edges_of, MsBfsRun,
+    RawMsBfs, MAX_SOURCES,
+};
+use mcbfs_core::runner::{Algorithm, BfsResult, BfsRunner, ExecMode};
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+use mcbfs_graph::validate::depths_from_parents;
+use mcbfs_sync::pool::scoped_run;
+use mcbfs_sync::ticket::TicketLock;
+use mcbfs_trace::{EventKind, SpanTimer, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One admitted query. `Copy + Default` so it can ride the
+/// `sync::workq::SharedQueue` admission path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Full BFS tree from `root` (parents + depths).
+    Parents {
+        /// Search root.
+        root: VertexId,
+    },
+    /// Hop distances from `root` only.
+    Distances {
+        /// Search root.
+        root: VertexId,
+    },
+    /// Shortest-path length between `s` and `t`, if connected.
+    StCon {
+        /// One endpoint (the wave source).
+        s: VertexId,
+        /// The other endpoint.
+        t: VertexId,
+    },
+    /// Boolean reachability from `from` to `to`.
+    Reachable {
+        /// Source endpoint (the wave source).
+        from: VertexId,
+        /// Destination endpoint.
+        to: VertexId,
+    },
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::Distances { root: 0 }
+    }
+}
+
+impl Query {
+    /// The vertex whose search answers this query (its wave-slot source).
+    pub fn source(&self) -> VertexId {
+        match *self {
+            Query::Parents { root } | Query::Distances { root } => root,
+            Query::StCon { s, .. } => s,
+            Query::Reachable { from, .. } => from,
+        }
+    }
+
+    /// The destination endpoint, for the point-to-point query kinds.
+    pub fn target(&self) -> Option<VertexId> {
+        match *self {
+            Query::StCon { t, .. } => Some(t),
+            Query::Reachable { to, .. } => Some(to),
+            _ => None,
+        }
+    }
+
+    /// Short kind tag used in stats output.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Query::Parents { .. } => "parents",
+            Query::Distances { .. } => "distances",
+            Query::StCon { .. } => "stcon",
+            Query::Reachable { .. } => "reachable",
+        }
+    }
+
+    fn wants_parents(&self) -> bool {
+        matches!(self, Query::Parents { .. })
+    }
+}
+
+/// The answer to one [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryResult {
+    /// BFS tree (`parents[root] == root`, unreached = `UNVISITED`).
+    Parents {
+        /// Parent array.
+        parents: Vec<VertexId>,
+        /// Hop distances (`u32::MAX` unreached).
+        depths: Vec<u32>,
+    },
+    /// Hop distances (`u32::MAX` unreached).
+    Distances {
+        /// Hop distances (`u32::MAX` unreached).
+        depths: Vec<u32>,
+    },
+    /// Shortest-path length, `None` when disconnected.
+    StCon {
+        /// Hop distance `s → t` if connected.
+        distance: Option<u32>,
+    },
+    /// Whether the destination is reachable.
+    Reachable {
+        /// True when a path exists.
+        reachable: bool,
+    },
+}
+
+impl QueryResult {
+    /// The depth array, for the kinds that return one.
+    pub fn depths(&self) -> Option<&[u32]> {
+        match self {
+            QueryResult::Parents { depths, .. } | QueryResult::Distances { depths } => Some(depths),
+            _ => None,
+        }
+    }
+}
+
+/// One finished query with its serving metrics.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Admission ticket (submission index).
+    pub id: u64,
+    /// The query as admitted.
+    pub query: Query,
+    /// Its answer.
+    pub result: QueryResult,
+    /// Index of the wave that served it.
+    pub wave: usize,
+    /// Seconds from batch start to this query's wave completing
+    /// (wall-clock native, predicted in model mode).
+    pub latency_seconds: f64,
+    /// TEPS numerator: adjacency entries of every vertex this search
+    /// reached.
+    pub edges: u64,
+    /// Vertices per hop depth of this search.
+    pub depth_histogram: Vec<u64>,
+}
+
+/// Per-wave execution record.
+#[derive(Clone, Debug)]
+pub struct WaveStats {
+    /// Index in wave order.
+    pub wave: usize,
+    /// Queries served by this wave.
+    pub queries: usize,
+    /// BFS levels the wave executed.
+    pub levels: usize,
+    /// Execution seconds of this wave alone.
+    pub seconds: f64,
+    /// Sum of the wave's per-query TEPS numerators.
+    pub edges: u64,
+    /// True when the singleton fallback algorithm ran instead of MS-BFS.
+    pub fallback: bool,
+    /// Dispatch slot (socket group) that executed the wave.
+    pub socket: usize,
+}
+
+/// Everything the engine knows after serving one batch.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// Per-query outcomes in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-wave execution records in wave order.
+    pub waves: Vec<WaveStats>,
+    /// Makespan of the whole batch (wall-clock native; in model mode the
+    /// slowest socket group's serial schedule, as in `core::throughput`).
+    pub seconds: f64,
+    /// Collected events when tracing was enabled (and compiled in).
+    pub trace: Option<Trace>,
+}
+
+impl BatchReport {
+    /// Sum of the per-query TEPS numerators.
+    pub fn total_edges(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.edges).sum()
+    }
+
+    /// Aggregate serving rate: total reachable edges over makespan.
+    pub fn aggregate_teps(&self) -> f64 {
+        self.total_edges() as f64 / self.seconds.max(1e-9)
+    }
+
+    /// The `q`-quantile of per-query latency (0 ≤ q ≤ 1), seconds.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency_seconds).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((lat.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        lat[idx]
+    }
+}
+
+/// Kernel output of one wave before result assembly. The native dispatcher
+/// collects these inside the serving clock and assembles outcomes after it
+/// stops.
+enum WaveKernel<'g> {
+    /// A 2+-query wave served by the multi-source kernel.
+    Ms(RawMsBfs<'g>),
+    /// A singleton wave served by the fallback single-search algorithm.
+    Single(BfsResult),
+}
+
+/// Builder-style batched query engine.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_gen::prelude::*;
+/// use mcbfs_query::engine::{Query, QueryEngine, QueryResult};
+///
+/// let g = UniformBuilder::new(1_000, 8).seed(5).build();
+/// let queries: Vec<Query> = (0..10).map(|i| Query::Distances { root: i * 7 }).collect();
+/// let report = QueryEngine::new(&g).threads(2).execute(&queries);
+/// assert_eq!(report.outcomes.len(), 10);
+/// match &report.outcomes[0].result {
+///     QueryResult::Distances { depths } => assert_eq!(depths[0], 0),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub struct QueryEngine<'g> {
+    graph: &'g CsrGraph,
+    threads: usize,
+    max_batch: usize,
+    sockets: usize,
+    fallback: Algorithm,
+    mode: ExecMode,
+    trace: bool,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine with defaults: 1 thread per wave, full-width batches,
+    /// serial dispatch, hybrid singleton fallback, native execution, no
+    /// tracing.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self {
+            graph,
+            threads: 1,
+            max_batch: MAX_SOURCES,
+            sockets: 1,
+            fallback: Algorithm::hybrid(),
+            mode: ExecMode::Native,
+            trace: false,
+        }
+    }
+
+    /// Worker threads per wave.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Maximum queries per wave (clamped to `1..=`[`MAX_SOURCES`]).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.clamp(1, MAX_SOURCES);
+        self
+    }
+
+    /// Concurrent wave dispatchers (socket groups), each `threads` wide —
+    /// the throughput-mode generalization. Model mode schedules waves
+    /// round-robin over the groups and reports the slowest group.
+    pub fn sockets(mut self, sockets: usize) -> Self {
+        self.sockets = sockets.max(1);
+        self
+    }
+
+    /// Algorithm for singleton waves, where MS-BFS has nothing to share
+    /// (default: the direction-optimizing hybrid; `MultiSocket` is the
+    /// other sensible choice).
+    pub fn fallback(mut self, fallback: Algorithm) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Selects native or model execution.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables `mcbfs-trace` capture (`BatchAdmit`/`BatchExecute` spans plus
+    /// the kernel's per-level spans).
+    pub fn traced(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Serves one batch: admits `queries` through the batcher, executes the
+    /// sealed waves, and reports per-query outcomes in submission order.
+    pub fn execute(&self, queries: &[Query]) -> BatchReport {
+        if self.trace {
+            mcbfs_trace::start(mcbfs_trace::RunMeta {
+                label: format!(
+                    "n={} m={} queries={}",
+                    self.graph.num_vertices(),
+                    self.graph.num_edges(),
+                    queries.len()
+                ),
+                algorithm: format!("batched-msbfs:{}", self.max_batch),
+                mode: match self.mode {
+                    ExecMode::Native => "native".to_string(),
+                    ExecMode::Model(_) => "model".to_string(),
+                },
+                threads: self.threads,
+            });
+            mcbfs_trace::register_worker(0);
+        }
+        let batcher = QueryBatcher::new(
+            BatcherOpts {
+                max_batch: self.max_batch,
+                max_wait: Duration::ZERO,
+            },
+            queries.len().max(1),
+        );
+        for &q in queries {
+            batcher.submit(q);
+        }
+        let waves = batcher.drain();
+        let mut report = match &self.mode {
+            ExecMode::Native => self.execute_native(&waves),
+            ExecMode::Model(_) => self.execute_model(&waves),
+        };
+        report.outcomes.sort_by_key(|o| o.id);
+        if self.trace {
+            mcbfs_trace::flush_thread();
+            report.trace = mcbfs_trace::finish();
+        }
+        report
+    }
+
+    /// Native dispatch: `sockets` concurrent dispatchers claim waves from a
+    /// shared cursor (one dispatcher ≙ one socket group of
+    /// `core::throughput`); latency is wall-clock from batch start to the
+    /// query's wave completing.
+    fn execute_native(&self, waves: &[Vec<(u64, Query)>]) -> BatchReport {
+        let cursor = AtomicUsize::new(0);
+        // (wave, socket, latency, kernel): only kernels run inside the
+        // serving clock; extraction and statistics happen after the join.
+        type Collected<'g> = Vec<(usize, usize, f64, WaveKernel<'g>)>;
+        let collected: TicketLock<Collected<'g>> = TicketLock::new(Vec::new());
+        let start = Instant::now();
+        scoped_run(self.sockets.min(waves.len().max(1)), None, |socket| {
+            loop {
+                let w = cursor.fetch_add(1, Ordering::Relaxed);
+                if w >= waves.len() {
+                    break;
+                }
+                let timer = SpanTimer::start();
+                let kernel = self.run_wave_kernel(&waves[w]);
+                timer.finish(EventKind::BatchExecute, waves[w].len() as u64);
+                let latency = start.elapsed().as_secs_f64();
+                collected.lock().push((w, socket, latency, kernel));
+            }
+            mcbfs_trace::flush_thread();
+        });
+        let seconds = start.elapsed().as_secs_f64();
+        let mut done = collected.into_inner();
+        done.sort_by_key(|&(w, ..)| w);
+        let mut report = BatchReport {
+            seconds,
+            ..BatchReport::default()
+        };
+        for (w, socket, latency, kernel) in done {
+            let (mut outcomes, mut stats) = self.assemble_wave(w, &waves[w], kernel);
+            stats.socket = socket;
+            for o in &mut outcomes {
+                o.latency_seconds = latency;
+            }
+            report.outcomes.extend(outcomes);
+            report.waves.push(stats);
+        }
+        report
+    }
+
+    /// Model dispatch: waves run the deterministic executor in wave order
+    /// (each priced inside [`QueryEngine::run_wave`]) and are scheduled
+    /// round-robin onto the socket groups; a query's latency is its group's
+    /// cumulative schedule.
+    fn execute_model(&self, waves: &[Vec<(u64, Query)>]) -> BatchReport {
+        let mut socket_clock = vec![0.0f64; self.sockets];
+        let mut report = BatchReport::default();
+        for (w, wave) in waves.iter().enumerate() {
+            let timer = SpanTimer::start();
+            let (mut outcomes, mut stats) = self.run_wave(w, wave);
+            timer.finish(EventKind::BatchExecute, wave.len() as u64);
+            let socket = w % self.sockets;
+            stats.socket = socket;
+            socket_clock[socket] += stats.seconds;
+            for o in &mut outcomes {
+                o.latency_seconds = socket_clock[socket];
+            }
+            report.outcomes.extend(outcomes);
+            report.waves.push(stats);
+        }
+        report.seconds = socket_clock.iter().fold(0.0, |a, &b| a.max(b));
+        report
+    }
+
+    /// Executes one sealed wave: MS-BFS for 2+ queries, the fallback
+    /// algorithm for singletons.
+    fn run_wave(&self, w: usize, wave: &[(u64, Query)]) -> (Vec<QueryOutcome>, WaveStats) {
+        let kernel = self.run_wave_kernel(wave);
+        self.assemble_wave(w, wave, kernel)
+    }
+
+    /// The timed part of a wave: just the traversal, no result extraction.
+    fn run_wave_kernel(&self, wave: &[(u64, Query)]) -> WaveKernel<'g> {
+        if wave.len() == 1 {
+            let result = BfsRunner::new(self.graph)
+                .algorithm(self.fallback)
+                .threads(self.threads)
+                .mode(self.mode.clone())
+                .run(wave[0].1.source());
+            return WaveKernel::Single(result);
+        }
+        let sources: Vec<VertexId> = wave.iter().map(|&(_, q)| q.source()).collect();
+        let record_parents = wave.iter().any(|&(_, q)| q.wants_parents());
+        WaveKernel::Ms(match &self.mode {
+            ExecMode::Native => ms_bfs_raw(self.graph, &sources, self.threads, record_parents),
+            ExecMode::Model(_) => {
+                ms_bfs_deterministic_raw(self.graph, &sources, self.threads, record_parents)
+            }
+        })
+    }
+
+    /// The untimed part: grid extraction, per-query answers, statistics.
+    fn assemble_wave(
+        &self,
+        w: usize,
+        wave: &[(u64, Query)],
+        kernel: WaveKernel<'g>,
+    ) -> (Vec<QueryOutcome>, WaveStats) {
+        match kernel {
+            WaveKernel::Single(r) => self.assemble_singleton(w, wave[0], r),
+            WaveKernel::Ms(raw) => {
+                let native_seconds = raw.seconds;
+                let run = raw.finish();
+                let seconds = match &self.mode {
+                    ExecMode::Native => native_seconds,
+                    ExecMode::Model(model) => model.predict(&run.profile).seconds,
+                };
+                self.assemble(w, wave, run, seconds)
+            }
+        }
+    }
+
+    fn assemble_singleton(
+        &self,
+        w: usize,
+        (id, query): (u64, Query),
+        r: BfsResult,
+    ) -> (Vec<QueryOutcome>, WaveStats) {
+        let depths = depths_from_parents(&r.parents);
+        let edges = reachable_edges_of(self.graph, &depths);
+        let outcome = QueryOutcome {
+            id,
+            query,
+            result: result_for(query, depths, || r.parents.clone()),
+            wave: w,
+            latency_seconds: 0.0,
+            edges,
+            depth_histogram: r.stats.depth_histogram.clone(),
+        };
+        let stats = WaveStats {
+            wave: w,
+            queries: 1,
+            levels: r.stats.levels as usize,
+            seconds: r.stats.seconds,
+            edges,
+            fallback: true,
+            socket: 0,
+        };
+        (vec![outcome], stats)
+    }
+
+    fn assemble(
+        &self,
+        w: usize,
+        wave: &[(u64, Query)],
+        run: MsBfsRun,
+        seconds: f64,
+    ) -> (Vec<QueryOutcome>, WaveStats) {
+        let MsBfsRun {
+            depths,
+            mut parents,
+            levels,
+            ..
+        } = run;
+        let mut wave_edges = 0u64;
+        let outcomes: Vec<QueryOutcome> = wave
+            .iter()
+            .zip(depths)
+            .enumerate()
+            .map(|(slot, (&(id, query), depths))| {
+                let edges = reachable_edges_of(self.graph, &depths);
+                wave_edges += edges;
+                let depth_histogram = depth_histogram_of(&depths);
+                let result = result_for(query, depths, || {
+                    std::mem::take(&mut parents.as_mut().expect("parents recorded")[slot])
+                });
+                QueryOutcome {
+                    id,
+                    query,
+                    result,
+                    wave: w,
+                    latency_seconds: 0.0,
+                    edges,
+                    depth_histogram,
+                }
+            })
+            .collect();
+        let stats = WaveStats {
+            wave: w,
+            queries: wave.len(),
+            levels,
+            seconds,
+            edges: wave_edges,
+            fallback: false,
+            socket: 0,
+        };
+        (outcomes, stats)
+    }
+}
+
+/// Projects one search's depth array (and lazily its parent array) onto the
+/// query kind's answer.
+fn result_for(
+    query: Query,
+    depths: Vec<u32>,
+    parents: impl FnOnce() -> Vec<VertexId>,
+) -> QueryResult {
+    match query {
+        Query::Parents { .. } => QueryResult::Parents {
+            parents: parents(),
+            depths,
+        },
+        Query::Distances { .. } => QueryResult::Distances { depths },
+        Query::StCon { t, .. } => QueryResult::StCon {
+            distance: (depths[t as usize] != u32::MAX).then(|| depths[t as usize]),
+        },
+        Query::Reachable { to, .. } => QueryResult::Reachable {
+            reachable: depths[to as usize] != u32::MAX,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::{sequential_levels, validate_bfs_tree};
+    use mcbfs_machine::model::MachineModel;
+
+    fn graph() -> CsrGraph {
+        RmatBuilder::new(9, 8).seed(21).build()
+    }
+
+    #[test]
+    fn heterogeneous_batch_answers_every_kind() {
+        let g = graph();
+        let levels0 = sequential_levels(&g, 0);
+        let far = levels0
+            .iter()
+            .position(|&d| d != u32::MAX && d >= 2)
+            .unwrap() as VertexId;
+        let unreached = levels0
+            .iter()
+            .position(|&d| d == u32::MAX)
+            .map(|v| v as VertexId);
+        let mut queries = vec![
+            Query::Parents { root: 0 },
+            Query::Distances { root: 3 },
+            Query::StCon { s: 0, t: far },
+            Query::Reachable { from: 0, to: far },
+        ];
+        if let Some(u) = unreached {
+            queries.push(Query::Reachable { from: 0, to: u });
+        }
+        let report = QueryEngine::new(&g).threads(2).execute(&queries);
+        assert_eq!(report.outcomes.len(), queries.len());
+        match &report.outcomes[0].result {
+            QueryResult::Parents { parents, depths } => {
+                validate_bfs_tree(&g, 0, parents).expect("valid tree");
+                assert_eq!(depths, &levels0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &report.outcomes[1].result {
+            QueryResult::Distances { depths } => assert_eq!(depths, &sequential_levels(&g, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            report.outcomes[2].result,
+            QueryResult::StCon {
+                distance: Some(levels0[far as usize]),
+            }
+        );
+        assert_eq!(
+            report.outcomes[3].result,
+            QueryResult::Reachable { reachable: true }
+        );
+        if unreached.is_some() {
+            assert_eq!(
+                report.outcomes[4].result,
+                QueryResult::Reachable { reachable: false }
+            );
+        }
+        assert!(report.aggregate_teps() > 0.0);
+        assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn singleton_batch_uses_fallback() {
+        let g = graph();
+        let report = QueryEngine::new(&g)
+            .threads(2)
+            .execute(&[Query::Distances { root: 5 }]);
+        assert_eq!(report.waves.len(), 1);
+        assert!(report.waves[0].fallback);
+        assert_eq!(
+            report.outcomes[0].result.depths().unwrap(),
+            &sequential_levels(&g, 5)[..]
+        );
+    }
+
+    #[test]
+    fn wave_splitting_respects_max_batch() {
+        let g = graph();
+        let queries: Vec<Query> = (0..10).map(|i| Query::Distances { root: i }).collect();
+        let report = QueryEngine::new(&g).max_batch(4).execute(&queries);
+        assert_eq!(
+            report.waves.iter().map(|w| w.queries).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        // The trailing singleton rule only applies to waves of exactly 1.
+        assert!(report.waves.iter().all(|w| !w.fallback));
+        // Outcomes come back in submission order regardless of wave.
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn model_mode_is_deterministic_and_matches_native_depths() {
+        let g = graph();
+        let queries: Vec<Query> = (0..7).map(|i| Query::Distances { root: i * 31 }).collect();
+        let model = || ExecMode::model(MachineModel::nehalem_ep());
+        let native = QueryEngine::new(&g).threads(2).execute(&queries);
+        let a = QueryEngine::new(&g)
+            .threads(2)
+            .mode(model())
+            .execute(&queries);
+        let b = QueryEngine::new(&g)
+            .threads(2)
+            .mode(model())
+            .execute(&queries);
+        assert_eq!(a.seconds, b.seconds);
+        assert!(a.seconds > 0.0);
+        for ((na, ma), mb) in native.outcomes.iter().zip(&a.outcomes).zip(&b.outcomes) {
+            assert_eq!(ma.result, mb.result);
+            assert_eq!(na.result.depths(), ma.result.depths());
+            assert_eq!(ma.latency_seconds, mb.latency_seconds);
+        }
+    }
+
+    #[test]
+    fn multi_socket_dispatch_serves_all_waves() {
+        let g = graph();
+        let queries: Vec<Query> = (0..12).map(|i| Query::Distances { root: i * 17 }).collect();
+        let report = QueryEngine::new(&g)
+            .max_batch(3)
+            .sockets(2)
+            .execute(&queries);
+        assert_eq!(report.waves.len(), 4);
+        assert_eq!(report.outcomes.len(), 12);
+        for o in &report.outcomes {
+            assert_eq!(
+                o.result.depths().unwrap(),
+                &sequential_levels(&g, o.query.source())[..],
+                "query {:?}",
+                o.query
+            );
+            assert!(o.latency_seconds > 0.0 && o.latency_seconds <= report.seconds + 1e-9);
+        }
+        // Model-mode round-robin: slowest socket group bounds the makespan.
+        let m = QueryEngine::new(&g)
+            .max_batch(3)
+            .sockets(2)
+            .mode(ExecMode::model(MachineModel::nehalem_ep()))
+            .execute(&queries);
+        let per_socket: Vec<f64> = (0..2)
+            .map(|s| {
+                m.waves
+                    .iter()
+                    .filter(|w| w.socket == s)
+                    .map(|w| w.seconds)
+                    .sum()
+            })
+            .collect();
+        let slowest = per_socket.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((m.seconds - slowest).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles_and_empty_batch() {
+        let g = graph();
+        let empty = QueryEngine::new(&g).execute(&[]);
+        assert_eq!(empty.outcomes.len(), 0);
+        assert_eq!(empty.latency_quantile(0.5), 0.0);
+        assert_eq!(empty.aggregate_teps(), 0.0);
+
+        let queries: Vec<Query> = (0..5).map(|i| Query::Distances { root: i }).collect();
+        let report = QueryEngine::new(&g).max_batch(2).execute(&queries);
+        let p0 = report.latency_quantile(0.0);
+        let p100 = report.latency_quantile(1.0);
+        assert!(p0 > 0.0 && p0 <= report.latency_quantile(0.5));
+        assert!(report.latency_quantile(0.5) <= p100);
+        assert!(p100 <= report.seconds + 1e-9);
+    }
+
+    #[test]
+    fn traced_batch_records_admit_and_execute_spans() {
+        let g = graph();
+        let queries: Vec<Query> = (0..6).map(|i| Query::Distances { root: i }).collect();
+        let report = QueryEngine::new(&g)
+            .max_batch(3)
+            .traced(true)
+            .execute(&queries);
+        if cfg!(feature = "trace") {
+            let trace = report.trace.expect("trace collected");
+            let count = |kind: EventKind| {
+                trace
+                    .threads
+                    .iter()
+                    .flat_map(|t| &t.events)
+                    .filter(|e| e.kind == kind)
+                    .count()
+            };
+            assert_eq!(count(EventKind::BatchAdmit), 2);
+            assert_eq!(count(EventKind::BatchExecute), 2);
+            assert!(count(EventKind::Level) > 0, "kernel level spans recorded");
+        } else {
+            assert!(report.trace.is_none());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Batched counterpart of the Graph500-style kernel (`core::kernel`): the
+//! same deterministically-sampled roots, served once as a one-query-at-a-
+//! time loop and once through wide MS-BFS waves, so the two aggregate TEPS
+//! numbers share both their root set and their edge numerator and the ratio
+//! is a pure wall-time comparison.
+
+use crate::engine::{BatchReport, Query, QueryEngine};
+use mcbfs_core::kernel::sample_roots;
+use mcbfs_core::runner::{Algorithm, ExecMode};
+use mcbfs_graph::csr::{CsrGraph, VertexId};
+
+/// Sequential-loop vs batched serving comparison over one root sample.
+#[derive(Debug)]
+pub struct BatchedKernelReport {
+    /// The sampled roots (shared by both runs).
+    pub roots: Vec<VertexId>,
+    /// Waves the batched run used.
+    pub waves: usize,
+    /// Common TEPS numerator: Σ over roots of reachable adjacency entries.
+    pub total_edges: u64,
+    /// Makespan of the one-query-at-a-time loop.
+    pub sequential_seconds: f64,
+    /// Makespan of the batched run.
+    pub batched_seconds: f64,
+    /// Full per-query report of the batched run.
+    pub batched: BatchReport,
+}
+
+impl BatchedKernelReport {
+    /// Aggregate TEPS of the one-at-a-time loop.
+    pub fn sequential_teps(&self) -> f64 {
+        self.total_edges as f64 / self.sequential_seconds.max(1e-9)
+    }
+
+    /// Aggregate TEPS of the batched run.
+    pub fn batched_teps(&self) -> f64 {
+        self.total_edges as f64 / self.batched_seconds.max(1e-9)
+    }
+
+    /// Batched speedup over the loop (ratio of makespans).
+    pub fn speedup(&self) -> f64 {
+        self.sequential_seconds / self.batched_seconds.max(1e-9)
+    }
+}
+
+/// Runs `searches` distance queries from [`sample_roots`]`(graph, searches,
+/// seed)` twice: as singleton waves executed back-to-back with `algorithm`
+/// (the paper's kernel regime), then batched `max_batch` wide through the
+/// MS-BFS engine. Both runs use `threads` workers and `mode`.
+pub fn run_batched_kernel(
+    graph: &CsrGraph,
+    algorithm: Algorithm,
+    threads: usize,
+    mode: ExecMode,
+    searches: usize,
+    seed: u64,
+    max_batch: usize,
+) -> BatchedKernelReport {
+    let roots = sample_roots(graph, searches.max(1), seed);
+    let queries: Vec<Query> = roots
+        .iter()
+        .map(|&r| Query::Distances { root: r })
+        .collect();
+    let engine = |batch: usize| {
+        QueryEngine::new(graph)
+            .threads(threads)
+            .max_batch(batch)
+            .fallback(algorithm)
+            .mode(mode.clone())
+    };
+    let sequential = engine(1).execute(&queries);
+    let batched = engine(max_batch).execute(&queries);
+    let total_edges = batched.total_edges();
+    debug_assert_eq!(
+        sequential.total_edges(),
+        total_edges,
+        "both runs reach the same vertex sets"
+    );
+    BatchedKernelReport {
+        roots,
+        waves: batched.waves.len(),
+        total_edges,
+        sequential_seconds: sequential.seconds,
+        batched_seconds: batched.seconds,
+        batched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_gen::prelude::*;
+    use mcbfs_graph::validate::sequential_levels;
+    use mcbfs_machine::model::MachineModel;
+
+    #[test]
+    fn batched_kernel_shares_roots_and_edges() {
+        let g = RmatBuilder::new(10, 8).seed(31).permute(true).build();
+        let r = run_batched_kernel(&g, Algorithm::Sequential, 1, ExecMode::Native, 8, 3, 64);
+        assert_eq!(r.roots, sample_roots(&g, 8, 3));
+        assert_eq!(r.waves, 1);
+        assert_eq!(r.batched.outcomes.len(), 8);
+        for o in &r.batched.outcomes {
+            assert_eq!(
+                o.result.depths().unwrap(),
+                &sequential_levels(&g, o.query.source())[..]
+            );
+        }
+        assert!(r.total_edges > 0);
+        assert!(r.sequential_teps() > 0.0 && r.batched_teps() > 0.0);
+        assert!(r.speedup() > 0.0);
+    }
+
+    #[test]
+    fn model_mode_comparison_is_deterministic() {
+        let g = UniformBuilder::new(2_000, 8).seed(12).build();
+        let mode = ExecMode::model(MachineModel::nehalem_ep());
+        let run = || run_batched_kernel(&g, Algorithm::Sequential, 4, mode.clone(), 16, 7, 64);
+        let (a, b) = (run(), run());
+        assert_eq!(a.sequential_seconds, b.sequential_seconds);
+        assert_eq!(a.batched_seconds, b.batched_seconds);
+        // One shared 4-thread sweep beats 16 modelled one-at-a-time
+        // sequential searches.
+        assert!(
+            a.speedup() > 1.0,
+            "modelled speedup {:.2} (seq {:.4}s vs batched {:.4}s)",
+            a.speedup(),
+            a.sequential_seconds,
+            a.batched_seconds
+        );
+    }
+}

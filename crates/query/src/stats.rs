@@ -1,0 +1,153 @@
+//! Serde-facing serving statistics for `--stats-json` and the bench
+//! figures: per-query latency/answer records plus batch aggregates.
+
+use crate::engine::{BatchReport, QueryResult};
+use serde::{Deserialize, Serialize};
+
+/// One query's serving record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Admission ticket (submission index).
+    pub id: u64,
+    /// Query kind tag (`parents`/`distances`/`stcon`/`reachable`).
+    pub kind: String,
+    /// Wave source vertex.
+    pub source: u32,
+    /// Destination endpoint for point-to-point kinds.
+    pub target: Option<u32>,
+    /// Wave that served the query.
+    pub wave: usize,
+    /// Milliseconds from batch start to the wave completing.
+    pub latency_ms: f64,
+    /// TEPS numerator (reachable adjacency entries).
+    pub edges: u64,
+    /// `s → t` hop distance for `stcon` queries that connected.
+    pub distance: Option<u32>,
+    /// Answer of `reachable` queries.
+    pub reachable: Option<bool>,
+    /// Vertices per hop depth of this search — comparable field-for-field
+    /// with `BfsStats::depth_histogram` from `mcbfs bfs --stats-json`.
+    pub depth_histogram: Vec<u64>,
+}
+
+/// Whole-batch serving summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Queries served.
+    pub queries: usize,
+    /// Waves executed.
+    pub waves: usize,
+    /// Admission cap (queries per wave).
+    pub max_batch: usize,
+    /// Worker threads per wave.
+    pub threads: usize,
+    /// Concurrent wave dispatchers.
+    pub sockets: usize,
+    /// `native` or `model`.
+    pub mode: String,
+    /// Batch makespan in seconds.
+    pub seconds: f64,
+    /// Sum of per-query TEPS numerators.
+    pub total_edges: u64,
+    /// Aggregate serving rate (`total_edges / seconds`).
+    pub aggregate_teps: f64,
+    /// Median per-query latency, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Per-query records in submission order.
+    pub per_query: Vec<QueryStats>,
+}
+
+/// Flattens a finished [`BatchReport`] into its serializable summary.
+/// `max_batch`/`threads`/`sockets`/`mode` echo the engine configuration
+/// (the report itself doesn't retain it).
+pub fn batch_stats(
+    report: &BatchReport,
+    max_batch: usize,
+    threads: usize,
+    sockets: usize,
+    mode: &str,
+) -> BatchStats {
+    let per_query = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let (distance, reachable) = match o.result {
+                QueryResult::StCon { distance } => (distance, None),
+                QueryResult::Reachable { reachable } => (None, Some(reachable)),
+                _ => (None, None),
+            };
+            QueryStats {
+                id: o.id,
+                kind: o.query.kind_name().to_string(),
+                source: o.query.source(),
+                target: o.query.target(),
+                wave: o.wave,
+                latency_ms: o.latency_seconds * 1e3,
+                edges: o.edges,
+                distance,
+                reachable,
+                depth_histogram: o.depth_histogram.clone(),
+            }
+        })
+        .collect();
+    BatchStats {
+        queries: report.outcomes.len(),
+        waves: report.waves.len(),
+        max_batch,
+        threads,
+        sockets,
+        mode: mode.to_string(),
+        seconds: report.seconds,
+        total_edges: report.total_edges(),
+        aggregate_teps: report.aggregate_teps(),
+        p50_latency_ms: report.latency_quantile(0.5) * 1e3,
+        p99_latency_ms: report.latency_quantile(0.99) * 1e3,
+        per_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Query, QueryEngine};
+    use mcbfs_gen::prelude::*;
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let g = UniformBuilder::new(600, 6).seed(8).build();
+        let queries = vec![
+            Query::Distances { root: 0 },
+            Query::StCon { s: 0, t: 5 },
+            Query::Reachable { from: 0, to: 9 },
+        ];
+        let report = QueryEngine::new(&g).threads(2).execute(&queries);
+        let stats = batch_stats(&report, 64, 2, 1, "native");
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.per_query.len(), 3);
+        assert_eq!(stats.per_query[0].kind, "distances");
+        assert_eq!(stats.per_query[1].kind, "stcon");
+        assert_eq!(stats.per_query[1].target, Some(5));
+        assert!(stats.aggregate_teps > 0.0);
+        assert!(stats.p50_latency_ms <= stats.p99_latency_ms);
+        let json = serde_json::to_string(&stats).expect("serializes");
+        let back: BatchStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn histograms_match_single_source_shape() {
+        let g = UniformBuilder::new(400, 5).seed(3).build();
+        let queries: Vec<Query> = (0..4).map(|i| Query::Distances { root: i * 3 }).collect();
+        let report = QueryEngine::new(&g).execute(&queries);
+        let stats = batch_stats(&report, 64, 1, 1, "native");
+        for (q, s) in queries.iter().zip(&stats.per_query) {
+            let solo = QueryEngine::new(&g).execute(&[*q]);
+            assert_eq!(
+                s.depth_histogram, solo.outcomes[0].depth_histogram,
+                "histogram parity for {q:?}"
+            );
+        }
+    }
+}

@@ -115,6 +115,10 @@ fn event_json(trace: &Trace, tid: usize, e: &TraceEvent) -> String {
             e.kind.name().to_string(),
             format!("{{\"retries\":{}}}", e.arg),
         ),
+        EventKind::BatchAdmit | EventKind::BatchExecute => (
+            format!("{} ({} queries)", e.kind.name(), e.arg),
+            format!("{{\"queries\":{}}}", e.arg),
+        ),
         EventKind::LockWait | EventKind::LockHold => (e.kind.name().to_string(), "{}".to_string()),
     };
     if e.kind.is_span() {

@@ -39,6 +39,13 @@ pub enum EventKind {
     /// Instant: the hybrid leader decided to switch direction for the next
     /// level. `arg` = new direction code (0 = td, 1 = bu).
     DirectionSwitch = 9,
+    /// Admission of one wave by the batched query engine: from the first
+    /// pending query entering the batcher to the wave being sealed.
+    /// `arg` = number of queries admitted into the wave.
+    BatchAdmit = 10,
+    /// Execution of one sealed wave (multi-source kernel or singleton
+    /// fallback), entry to exit. `arg` = number of queries in the wave.
+    BatchExecute = 11,
 }
 
 impl EventKind {
@@ -55,6 +62,8 @@ impl EventKind {
             EventKind::ChannelOccupancy => "channel_occupancy",
             EventKind::Convert => "convert",
             EventKind::DirectionSwitch => "direction_switch",
+            EventKind::BatchAdmit => "batch_admit",
+            EventKind::BatchExecute => "batch_execute",
         }
     }
 
@@ -69,6 +78,7 @@ impl EventKind {
             | EventKind::ChannelStall
             | EventKind::ChannelOccupancy => "channel",
             EventKind::DirectionSwitch => "bfs",
+            EventKind::BatchAdmit | EventKind::BatchExecute => "batch",
         }
     }
 
@@ -113,9 +123,11 @@ mod tests {
             EventKind::ChannelOccupancy,
             EventKind::Convert,
             EventKind::DirectionSwitch,
+            EventKind::BatchAdmit,
+            EventKind::BatchExecute,
         ];
         let spans = all.iter().filter(|k| k.is_span()).count();
-        assert_eq!(spans, 7);
+        assert_eq!(spans, 9);
         for k in all {
             assert!(!k.name().is_empty());
             assert!(!k.category().is_empty());

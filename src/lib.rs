@@ -21,6 +21,10 @@
 //! * [`core`] — the BFS algorithms themselves (Algorithms 1, 2, 3 of the
 //!   paper plus ablations), instrumentation, and the native/modelled
 //!   executors;
+//! * [`query`] — the batched query engine: bit-parallel multi-source BFS
+//!   waves serving heterogeneous queries (trees, distances,
+//!   st-connectivity, reachability) with admission batching and
+//!   latency/aggregate-TEPS serving statistics;
 //! * [`trace`] — the low-overhead per-thread event recorder behind
 //!   `BfsRunner::traced`, with Chrome-trace JSON and flat JSONL exporters
 //!   (compiled to no-ops without the `trace` cargo feature).
@@ -44,6 +48,7 @@ pub use mcbfs_core as core;
 pub use mcbfs_gen as gen;
 pub use mcbfs_graph as graph;
 pub use mcbfs_machine as machine;
+pub use mcbfs_query as query;
 pub use mcbfs_sync as sync;
 pub use mcbfs_trace as trace;
 
@@ -58,4 +63,5 @@ pub mod prelude {
     pub use mcbfs_graph::validate::validate_bfs_tree;
     pub use mcbfs_machine::model::MachineModel;
     pub use mcbfs_machine::topology::MachineSpec;
+    pub use mcbfs_query::engine::{Query, QueryEngine};
 }

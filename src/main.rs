@@ -3,7 +3,8 @@
 //! ```text
 //! mcbfs generate --kind rmat --scale 18 --degree 8 --out g.csr
 //! mcbfs bfs --graph g.csr --root 0 --threads 4 --algorithm multi:2
-//! mcbfs kernel --graph g.csr --searches 16 --threads 4
+//! mcbfs kernel --graph g.csr --searches 16 --threads 4 [--batched]
+//! mcbfs query --graph g.csr --sources sources.txt --batch 64
 //! mcbfs components --graph g.csr
 //! mcbfs stcon --graph g.csr --source 0 --target 99
 //! mcbfs model --machine ex --graph g.csr --threads 64
@@ -14,7 +15,7 @@ use multicore_bfs::core::algo::hybrid::ForcedDirection;
 use multicore_bfs::core::components::connected_components;
 use multicore_bfs::core::kernel::run_kernel;
 use multicore_bfs::core::runner::{Algorithm, BfsRunner, ExecMode, DEFAULT_REORDER_SEED};
-use multicore_bfs::core::stcon::{st_connectivity, StConnectivity};
+use multicore_bfs::core::stcon::{st_connectivity, StConReport, StConnectivity};
 use multicore_bfs::gen::grid::{GridBuilder, Stencil};
 use multicore_bfs::gen::prelude::*;
 use multicore_bfs::gen::stats::{degree_stats, locality_stats};
@@ -24,6 +25,7 @@ use multicore_bfs::graph::reorder::Reorder;
 use multicore_bfs::machine::calibrate::{calibrate_host, CalibrationEffort};
 use multicore_bfs::machine::model::MachineModel;
 use multicore_bfs::prelude::validate_bfs_tree;
+use multicore_bfs::query::{batch_stats, run_batched_kernel, Query, QueryEngine};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -40,6 +42,7 @@ fn main() {
         "bfs" => cmd_bfs(&opts),
         "info" => cmd_info(&opts),
         "kernel" => cmd_kernel(&opts),
+        "query" => cmd_query(&opts),
         "components" => cmd_components(&opts),
         "stcon" => cmd_stcon(&opts),
         "model" => cmd_model(&opts),
@@ -66,8 +69,13 @@ fn usage(err: &str) -> ! {
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
          \x20 info        --graph PATH\n\
          \x20 kernel      --graph PATH [--searches K] [--threads T] [--seed S]\n\
+         \x20             [--batched] [--batch B]\n\
+         \x20 query       --graph PATH --sources FILE [--batch B] [--threads T]\n\
+         \x20             [--sockets S] [--mode native|model] [--machine ep|ex]\n\
+         \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
          \x20 components  --graph PATH [--threads T]\n\
-         \x20 stcon       --graph PATH --source S --target T\n\
+         \x20 stcon       --graph PATH --source S --target T [--stats-json FILE]\n\
+         \x20             (exit code 1 when disconnected)\n\
          \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
          \x20             [--reorder none|degree|bfs|random] [--reorder-seed S]\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
@@ -120,30 +128,37 @@ fn write_text_file(path: &str, contents: &str) {
     std::fs::write(path, contents).unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
 }
 
+/// Handles `--trace` / `--metrics` for any run that may carry a trace.
+fn write_trace_exports(
+    opts: &HashMap<String, String>,
+    trace: Option<&multicore_bfs::trace::Trace>,
+) {
+    if !(opts.contains_key("trace") || opts.contains_key("metrics")) {
+        return;
+    }
+    let Some(trace) = trace else {
+        usage("--trace/--metrics need the `trace` cargo feature (rebuild with default features)")
+    };
+    if let Some(path) = opts.get("trace") {
+        write_text_file(path, &multicore_bfs::trace::to_chrome_json(trace));
+        println!(
+            "wrote Chrome trace {path}: {} events across {} threads",
+            trace.event_count(),
+            trace.threads.len()
+        );
+    }
+    if let Some(path) = opts.get("metrics") {
+        write_text_file(path, &multicore_bfs::trace::to_jsonl(trace));
+        println!(
+            "wrote metrics JSONL {path}: {} level spans",
+            trace.level_span_count()
+        );
+    }
+}
+
 /// Handles `--trace`, `--metrics` and `--stats-json` for a finished run.
 fn write_exports(opts: &HashMap<String, String>, result: &multicore_bfs::core::BfsResult) {
-    if opts.contains_key("trace") || opts.contains_key("metrics") {
-        let Some(trace) = result.trace.as_ref() else {
-            usage(
-                "--trace/--metrics need the `trace` cargo feature (rebuild with default features)",
-            )
-        };
-        if let Some(path) = opts.get("trace") {
-            write_text_file(path, &multicore_bfs::trace::to_chrome_json(trace));
-            println!(
-                "wrote Chrome trace {path}: {} events across {} threads",
-                trace.event_count(),
-                trace.threads.len()
-            );
-        }
-        if let Some(path) = opts.get("metrics") {
-            write_text_file(path, &multicore_bfs::trace::to_jsonl(trace));
-            println!(
-                "wrote metrics JSONL {path}: {} level spans",
-                trace.level_span_count()
-            );
-        }
-    }
+    write_trace_exports(opts, result.trace.as_ref());
     if let Some(path) = opts.get("stats-json") {
         let json = serde_json::to_string_pretty(&result.stats).expect("serialize stats");
         write_text_file(path, &json);
@@ -334,6 +349,108 @@ fn cmd_kernel(opts: &HashMap<String, String>) {
         stats.median() / 1e6,
         stats.quantile(1.0) / 1e6,
     );
+    if opts.contains_key("batched") {
+        let batch: usize = get(opts, "batch", 64usize);
+        let r = run_batched_kernel(
+            &graph,
+            algorithm,
+            threads,
+            ExecMode::Native,
+            searches,
+            seed,
+            batch,
+        );
+        println!(
+            "batched (same {} roots, {} wave{} of <={}): sequential loop {:.2} MTEPS \
+             ({:.3} ms), batched {:.2} MTEPS ({:.3} ms), speedup {:.2}x",
+            r.roots.len(),
+            r.waves,
+            if r.waves == 1 { "" } else { "s" },
+            batch,
+            r.sequential_teps() / 1e6,
+            r.sequential_seconds * 1e3,
+            r.batched_teps() / 1e6,
+            r.batched_seconds * 1e3,
+            r.speedup()
+        );
+    }
+}
+
+/// Reads whitespace/newline-separated vertex ids from a file.
+fn read_sources(path: &str, n: usize) -> Vec<u32> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    let sources: Vec<u32> = text
+        .split_whitespace()
+        .map(|tok| {
+            tok.parse()
+                .unwrap_or_else(|_| usage(&format!("bad vertex id {tok:?} in {path}")))
+        })
+        .collect();
+    if sources.is_empty() {
+        usage(&format!("{path} contains no vertex ids"));
+    }
+    if let Some(&bad) = sources.iter().find(|&&s| s as usize >= n) {
+        usage(&format!(
+            "source {bad} out of range (graph has {n} vertices)"
+        ));
+    }
+    sources
+}
+
+fn cmd_query(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let sources = read_sources(&require(opts, "sources"), graph.num_vertices());
+    let batch: usize = get(opts, "batch", 64usize);
+    let threads: usize = get(opts, "threads", 1usize);
+    let sockets: usize = get(opts, "sockets", 1usize);
+    let mode_name = get(opts, "mode", "native".to_string());
+    let mode = match mode_name.as_str() {
+        "native" => ExecMode::Native,
+        "model" => ExecMode::model(parse_machine(&get(opts, "machine", "ex".to_string()))),
+        other => usage(&format!("unknown --mode {other:?} (native|model)")),
+    };
+    let queries: Vec<Query> = sources
+        .iter()
+        .map(|&root| Query::Distances { root })
+        .collect();
+    let report = QueryEngine::new(&graph)
+        .threads(threads)
+        .max_batch(batch)
+        .sockets(sockets)
+        .mode(mode)
+        .traced(opts.contains_key("trace") || opts.contains_key("metrics"))
+        .execute(&queries);
+    let stats = batch_stats(&report, batch, threads, sockets, &mode_name);
+    println!(
+        "[{}] {} queries in {} wave{}: {:.3} ms makespan, {:.2} aggregate MTEPS, \
+         latency p50 {:.3} ms / p99 {:.3} ms",
+        mode_name,
+        stats.queries,
+        stats.waves,
+        if stats.waves == 1 { "" } else { "s" },
+        stats.seconds * 1e3,
+        stats.aggregate_teps / 1e6,
+        stats.p50_latency_ms,
+        stats.p99_latency_ms
+    );
+    for w in &report.waves {
+        println!(
+            "  wave {}: {} queries, {} levels, {:.3} ms, {} edges{}",
+            w.wave,
+            w.queries,
+            w.levels,
+            w.seconds * 1e3,
+            w.edges,
+            if w.fallback { " (fallback)" } else { "" }
+        );
+    }
+    write_trace_exports(opts, report.trace.as_ref());
+    if let Some(path) = opts.get("stats-json") {
+        let json = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
 }
 
 fn cmd_components(opts: &HashMap<String, String>) {
@@ -350,15 +467,33 @@ fn cmd_stcon(opts: &HashMap<String, String>) {
     let graph = load_graph(opts);
     let s: u32 = get(opts, "source", 0u32);
     let t: u32 = get(opts, "target", 0u32);
-    match st_connectivity(&graph, s, t) {
-        StConnectivity::Connected { path } => {
-            println!("connected: {} hops", path.len() - 1);
+    let start = std::time::Instant::now();
+    let result = st_connectivity(&graph, s, t);
+    let seconds = start.elapsed().as_secs_f64();
+    if let Some(path) = opts.get("stats-json") {
+        let report = StConReport::new(s, t, &result, seconds);
+        let json = serde_json::to_string_pretty(&report).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
+    match result {
+        StConnectivity::Connected { path, explored } => {
+            println!(
+                "connected: {} hops ({explored} vertices explored, {:.3} ms)",
+                path.len() - 1,
+                seconds * 1e3
+            );
             if path.len() <= 20 {
                 println!("  path: {path:?}");
             }
         }
         StConnectivity::Disconnected { explored } => {
-            println!("disconnected (explored {explored} vertices)");
+            println!(
+                "disconnected (explored {explored} vertices, {:.3} ms)",
+                seconds * 1e3
+            );
+            // Scriptability: a missing path is a distinguishable exit code.
+            exit(1);
         }
     }
 }

@@ -52,7 +52,7 @@ fn stcon_agrees_with_component_labels() {
     for (s, t) in [(0u32, 1u32), (0, 400), (0, 799), (100, 700), (250, 251)] {
         let same_component = comps.labels[s as usize] == comps.labels[t as usize];
         match st_connectivity(&g, s, t) {
-            StConnectivity::Connected { path } => {
+            StConnectivity::Connected { path, .. } => {
                 assert!(
                     same_component,
                     "stcon found a path across components ({s},{t})"

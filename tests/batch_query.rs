@@ -1,0 +1,166 @@
+//! Acceptance tests for the batched query engine (ISSUE 4).
+//!
+//! Two pillars:
+//!
+//! 1. **Depth parity.** For batch sizes {1, 7, 64}, the per-source depth
+//!    arrays coming out of the engine are byte-identical to the sequential
+//!    reference on scale-14 uniform and R-MAT graphs — in native mode
+//!    (racing MS-BFS claims) and in model mode (deterministic executor).
+//!    Batching may change parents, never distances.
+//! 2. **Throughput.** On a scale-16 R-MAT graph, serving 64 distance
+//!    queries as one 64-wide MS-BFS wave is at least 4x faster than the
+//!    one-query-at-a-time sequential loop over the same roots (same
+//!    reachable-edge TEPS numerator, so the ratio is pure wall time).
+
+use multicore_bfs::core::kernel::sample_roots;
+use multicore_bfs::core::runner::{Algorithm, ExecMode};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::csr::CsrGraph;
+use multicore_bfs::graph::validate::sequential_levels;
+use multicore_bfs::machine::model::MachineModel;
+use multicore_bfs::query::{run_batched_kernel, Query, QueryEngine};
+
+/// Runs `queries` through the engine at each batch size and checks every
+/// outcome's depth array against the sequential reference.
+fn assert_depth_parity(g: &CsrGraph, label: &str, mode: ExecMode) {
+    let roots = sample_roots(g, 64, 2026);
+    let queries: Vec<Query> = roots
+        .iter()
+        .map(|&r| Query::Distances { root: r })
+        .collect();
+    let reference: Vec<Vec<u32>> = roots.iter().map(|&r| sequential_levels(g, r)).collect();
+    for batch in [1usize, 7, 64] {
+        let report = QueryEngine::new(g)
+            .threads(4)
+            .max_batch(batch)
+            .fallback(Algorithm::Sequential)
+            .mode(mode.clone())
+            .execute(&queries);
+        assert_eq!(report.outcomes.len(), queries.len());
+        assert_eq!(report.waves.len(), queries.len().div_ceil(batch));
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.query.source(), roots[i]);
+            let depths = outcome
+                .result
+                .depths()
+                .expect("distance queries carry depths");
+            assert_eq!(
+                depths,
+                &reference[i][..],
+                "{label}: batch={batch} root={} depth array diverged",
+                roots[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn depth_parity_uniform_scale14_native() {
+    let g = UniformBuilder::new(1 << 14, 8).seed(14).build();
+    assert_depth_parity(&g, "uniform-14 native", ExecMode::Native);
+}
+
+#[test]
+fn depth_parity_uniform_scale14_model() {
+    let g = UniformBuilder::new(1 << 14, 8).seed(14).build();
+    assert_depth_parity(
+        &g,
+        "uniform-14 model",
+        ExecMode::model(MachineModel::nehalem_ep()),
+    );
+}
+
+#[test]
+fn depth_parity_rmat_scale14_native() {
+    let g = RmatBuilder::new(14, 8).seed(41).permute(true).build();
+    assert_depth_parity(&g, "rmat-14 native", ExecMode::Native);
+}
+
+#[test]
+fn depth_parity_rmat_scale14_model() {
+    let g = RmatBuilder::new(14, 8).seed(41).permute(true).build();
+    assert_depth_parity(
+        &g,
+        "rmat-14 model",
+        ExecMode::model(MachineModel::nehalem_ex()),
+    );
+}
+
+#[test]
+fn batched_64_is_4x_faster_than_sequential_loop() {
+    let g = RmatBuilder::new(16, 8).seed(16).permute(true).build();
+    // Match the host: spinning barrier workers oversubscribed onto fewer
+    // cores would tax only the batched side of the comparison.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    // Wall-clock floor on a possibly noisy host: take the best of two
+    // attempts before declaring the speedup below the line.
+    let mut best: Option<multicore_bfs::query::BatchedKernelReport> = None;
+    for _ in 0..2 {
+        let r = run_batched_kernel(
+            &g,
+            Algorithm::Sequential,
+            threads,
+            ExecMode::Native,
+            64,
+            2026,
+            64,
+        );
+        assert_eq!(r.waves, 1, "64 queries fit one wave");
+        assert!(r.total_edges > 0);
+        if best.as_ref().is_none_or(|b| r.speedup() > b.speedup()) {
+            best = Some(r);
+        }
+        if best.as_ref().unwrap().speedup() >= 4.0 {
+            break;
+        }
+    }
+    let report = best.unwrap();
+    assert!(
+        report.speedup() >= 4.0,
+        "batch-64 speedup {:.2}x below the 4x floor \
+         (sequential {:.3}s @ {:.2} MTEPS, batched {:.3}s @ {:.2} MTEPS)",
+        report.speedup(),
+        report.sequential_seconds,
+        report.sequential_teps() / 1e6,
+        report.batched_seconds,
+        report.batched_teps() / 1e6,
+    );
+}
+
+#[test]
+fn heterogeneous_batch_round_trips_all_kinds() {
+    let g = RmatBuilder::new(12, 8).seed(5).permute(true).build();
+    let levels = sequential_levels(&g, 3);
+    let far = (0..g.num_vertices() as u32)
+        .find(|&v| levels[v as usize] == 3)
+        .expect("distance-3 vertex");
+    let unreachable = (0..g.num_vertices() as u32).find(|&v| levels[v as usize] == u32::MAX);
+    let mut queries = vec![
+        Query::Distances { root: 3 },
+        Query::Parents { root: 3 },
+        Query::StCon { s: 3, t: far },
+        Query::Reachable { from: 3, to: far },
+    ];
+    if let Some(u) = unreachable {
+        queries.push(Query::Reachable { from: 3, to: u });
+    }
+    let report = QueryEngine::new(&g).threads(2).execute(&queries);
+    use multicore_bfs::query::QueryResult::*;
+    match &report.outcomes[2].result {
+        StCon { distance } => assert_eq!(*distance, Some(3)),
+        other => panic!("expected StCon, got {other:?}"),
+    }
+    match &report.outcomes[3].result {
+        Reachable { reachable } => assert!(reachable),
+        other => panic!("expected Reachable, got {other:?}"),
+    }
+    if unreachable.is_some() {
+        match &report.outcomes[4].result {
+            Reachable { reachable } => assert!(!reachable),
+            other => panic!("expected Reachable, got {other:?}"),
+        }
+    }
+}
