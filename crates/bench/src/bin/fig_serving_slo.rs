@@ -1,0 +1,205 @@
+//! Serving under load: offered QPS vs p99 latency, goodput, and shed rate.
+//!
+//! Not a figure of the source paper — this characterizes the `mcbfs-serve`
+//! front-end (DESIGN.md §"Serving layer") the way serving systems are
+//! evaluated: an in-process wire-v1 server on an R-MAT graph is driven by
+//! the open-loop Poisson load generator at a sweep of offered rates, from
+//! well under the sustainable throughput to past saturation. For each
+//! offered rate we report:
+//!
+//! * **p99 latency** — client-measured (send to response) over served
+//!   requests. The hockey-stick as the offered rate crosses the service
+//!   capacity is the figure's headline curve;
+//! * **goodput** — served-within-SLO completions per second. Past
+//!   saturation goodput plateaus while the offered rate keeps rising,
+//!   because bounded admission sheds the excess with explicit
+//!   `rejected: overloaded` replies instead of letting queues grow;
+//! * **shed fraction** — how much of the offered load admission refused.
+//!   With load shedding working, p99 of *admitted* requests stays bounded
+//!   at any offered rate.
+//!
+//! The sweep is relative: a calibration run (closed loop, maximum
+//! pressure) measures this host's sustainable QPS, then the offered rates
+//! are fractions {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0} of it, so the
+//! curve shows the same shape on any machine.
+//!
+//! `--smoke` shrinks to a scale-10 graph, two offered rates, and
+//! sub-second runs: a CI bit-rot check, not a measurement.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_gen::prelude::*;
+use mcbfs_graph::csr::CsrGraph;
+use mcbfs_serve::{serve, LoadgenOpts, ServeOpts, ShutdownHandle};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const SEED: u64 = 2026;
+
+struct Sizing {
+    scale: u32,
+    duration: Duration,
+    calibration: Duration,
+    connections: usize,
+    load_points: Vec<f64>,
+}
+
+fn sizing(args: &Args) -> Sizing {
+    if args.smoke {
+        Sizing {
+            scale: 10,
+            duration: Duration::from_millis(800),
+            calibration: Duration::from_millis(500),
+            connections: 2,
+            load_points: vec![0.5, 4.0],
+        }
+    } else {
+        Sizing {
+            scale: 14,
+            duration: Duration::from_secs(3),
+            calibration: Duration::from_secs(2),
+            connections: 4,
+            load_points: vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0],
+        }
+    }
+}
+
+/// Runs `f` against a live in-process server and drains it afterwards.
+fn with_server<R: Send>(
+    graph: &CsrGraph,
+    threads: usize,
+    f: impl FnOnce(SocketAddr) -> R + Send,
+) -> R {
+    let opts = ServeOpts {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        ..ServeOpts::default()
+    };
+    let shutdown = ShutdownHandle::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut result = None;
+    std::thread::scope(|scope| {
+        let server_shutdown = shutdown.clone();
+        let opts = &opts;
+        scope.spawn(move || {
+            serve(graph, opts, &server_shutdown, move |addr| {
+                tx.send(addr).expect("ready callback")
+            })
+            .expect("server binds an ephemeral port")
+        });
+        let addr = rx.recv().expect("server reports readiness");
+        result = Some(f(addr));
+        shutdown.request();
+    });
+    result.unwrap()
+}
+
+fn main() {
+    let args = Args::parse("fig_serving_slo");
+    let sz = sizing(&args);
+    let threads = match (&args.threads, args.smoke) {
+        (Some(t), _) => t[0],
+        (None, true) => 1,
+        (None, false) => 4,
+    };
+    let graph = RmatBuilder::new(sz.scale, 8)
+        .seed(SEED)
+        .permute(true)
+        .build();
+    eprintln!(
+        "# serving-slo: rmat scale-{}, {} vertices, {} directed edges, {} worker threads",
+        sz.scale,
+        graph.num_vertices(),
+        graph.num_edges(),
+        threads
+    );
+
+    let mut report = Report::new(
+        "Serving under load: p99 latency, goodput, and shed fraction vs \
+         offered rate (open-loop Poisson arrivals, rates relative to the \
+         calibrated sustainable QPS)",
+        "offered_over_capacity",
+    );
+
+    // Calibration: closed loop at full pressure measures what this host
+    // can actually sustain, making the sweep host-independent.
+    let sustainable = with_server(&graph, threads, |addr| {
+        let calib = mcbfs_serve::loadgen::run(&LoadgenOpts {
+            addr: addr.to_string(),
+            connections: sz.connections,
+            duration: sz.calibration,
+            rate: None,
+            seed: SEED,
+            ..LoadgenOpts::default()
+        })
+        .expect("calibration run");
+        calib.achieved_qps
+    })
+    .max(50.0);
+    eprintln!("# calibrated sustainable rate: {sustainable:.0} qps (closed loop)");
+
+    for &fraction in &sz.load_points {
+        let rate = sustainable * fraction;
+        let run = with_server(&graph, threads, |addr| {
+            mcbfs_serve::loadgen::run(&LoadgenOpts {
+                addr: addr.to_string(),
+                connections: sz.connections,
+                duration: sz.duration,
+                rate: Some(rate),
+                seed: SEED + (fraction * 8.0) as u64,
+                ..LoadgenOpts::default()
+            })
+            .expect("load run")
+        });
+        let shed_fraction = if run.submitted > 0 {
+            run.shed as f64 / run.submitted as f64
+        } else {
+            0.0
+        };
+        report.push(
+            "p99_latency",
+            "served p99",
+            fraction,
+            run.p99_latency_ms,
+            "ms",
+        );
+        report.push(
+            "goodput",
+            "within-SLO qps",
+            fraction,
+            run.goodput_qps,
+            "qps",
+        );
+        report.push("shed_fraction", "shed", fraction, shed_fraction, "fraction");
+        report.push(
+            "slo_attainment",
+            "SLO attainment",
+            fraction,
+            run.slo_attainment,
+            "fraction",
+        );
+        println!(
+            "# load {:.2}x ({rate:.0} qps offered): {} submitted, {} served, \
+             {} shed, {} timeout, p50 {:.3} ms, p99 {:.3} ms, goodput {:.0} qps, \
+             SLO attainment {:.3}",
+            fraction,
+            run.submitted,
+            run.served,
+            run.shed,
+            run.timeouts,
+            run.p50_latency_ms,
+            run.p99_latency_ms,
+            run.goodput_qps,
+            run.slo_attainment
+        );
+        // The load generator's accounting must close: every request ends
+        // in exactly one bucket, or the run is invalid.
+        assert_eq!(
+            run.served + run.shed + run.timeouts + run.errors + run.unresolved,
+            run.submitted,
+            "serving accounting must close"
+        );
+        assert_eq!(run.errors, 0, "protocol errors under load");
+    }
+    report.finish(&args.out);
+}

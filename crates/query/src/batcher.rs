@@ -3,16 +3,23 @@
 //! The serving loop's contract is the classic batching trade-off — wait a
 //! little to fill a wide wave (throughput), but never hold a query longer
 //! than `max_wait` (latency). Pending queries live in a
-//! [`SharedQueue`] — the same fetch-add frontier array the BFS levels use —
-//! so submission from concurrent producers is one cursor reservation, and
-//! sealing a wave is one `take_chunk`.
+//! [`ContinuousQueue`] — the bounded ring variant of the fetch-add frontier
+//! array the BFS levels use — so submission from concurrent producers is
+//! one bounded ticket reservation, sealing a wave is one chunked pop, and
+//! the ticket **is** the submission index: waves preserve strict FIFO
+//! ticket order by construction, across any producer interleaving.
+//!
+//! Built for continuous serving: the ring is bounded, [`QueryBatcher::try_submit`]
+//! reports `Overloaded` instead of growing without limit (the server's load
+//! shedding), every pending query carries its submission timestamp (so the
+//! scheduler can close waves on an age deadline and report queue time
+//! separately from service time), and [`QueryBatcher::close`] drains-then-stops
+//! for graceful shutdown.
 
 use crate::engine::Query;
 use crate::msbfs::MAX_SOURCES;
-use mcbfs_sync::ticket::TicketLock;
-use mcbfs_sync::workq::SharedQueue;
+use mcbfs_sync::workq::{ContinuousQueue, PushError};
 use mcbfs_trace::{EventKind, TraceEvent};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Admission policy.
@@ -34,37 +41,58 @@ impl Default for BatcherOpts {
     }
 }
 
-/// One queued query with its submission ticket.
+/// Why a submission was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Pending depth reached the batcher's capacity; the caller should
+    /// shed the query with an explicit reply, never drop it silently.
+    Overloaded,
+    /// The batcher is draining for shutdown.
+    Closed,
+}
+
+/// One queued query. `Copy + Default` so it can ride the
+/// `sync::workq::ContinuousQueue` admission ring.
 #[derive(Clone, Copy, Debug, Default)]
 struct Pending {
-    id: u64,
     query: Query,
+    /// Submission time, nanoseconds since the batcher's epoch.
+    submit_ns: u64,
+}
+
+/// One query sealed into a wave, with its admission metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct Admitted {
+    /// Admission ticket (dense from 0 — also the submission index).
+    pub id: u64,
+    /// The query as admitted.
+    pub query: Query,
+    /// Time the query spent queued, submission to wave seal.
+    pub queued: Duration,
 }
 
 /// Collects concurrently-submitted queries and seals them into waves of at
-/// most `max_batch`, in submission order.
+/// most `max_batch`, in strict submission (ticket) order.
 pub struct QueryBatcher {
-    queue: SharedQueue<Pending>,
+    queue: ContinuousQueue<Pending>,
     opts: BatcherOpts,
-    next_id: AtomicU64,
-    taken: AtomicUsize,
-    /// When the oldest still-pending query arrived (None when drained).
-    oldest: TicketLock<Option<Instant>>,
+    /// Clock origin for the per-query submission timestamps.
+    epoch: Instant,
 }
 
 impl QueryBatcher {
-    /// A batcher able to hold `capacity` queries between resets.
+    /// A batcher whose pending depth is bounded by `capacity` (the
+    /// admission-control high-water mark; submissions beyond it report
+    /// [`AdmitError::Overloaded`]).
     pub fn new(opts: BatcherOpts, capacity: usize) -> Self {
         let opts = BatcherOpts {
             max_batch: opts.max_batch.clamp(1, MAX_SOURCES),
             ..opts
         };
         Self {
-            queue: SharedQueue::with_capacity(capacity.max(1)),
+            queue: ContinuousQueue::with_capacity(capacity.max(1)),
             opts,
-            next_id: AtomicU64::new(0),
-            taken: AtomicUsize::new(0),
-            oldest: TicketLock::new(None),
+            epoch: Instant::now(),
         }
     }
 
@@ -74,21 +102,51 @@ impl QueryBatcher {
     }
 
     /// Submits one query, returning its admission ticket (sequential from
-    /// 0 — also its index in the submission order).
+    /// 0 — also its index in the submission order), or the reason it was
+    /// rejected. Rejection is a normal serving outcome (shed or draining),
+    /// never a panic.
+    pub fn try_submit(&self, query: Query) -> Result<u64, AdmitError> {
+        let pending = Pending {
+            query,
+            submit_ns: self.epoch.elapsed().as_nanos() as u64,
+        };
+        self.queue.try_push(pending).map_err(|e| match e {
+            PushError::Full => AdmitError::Overloaded,
+            PushError::Closed => AdmitError::Closed,
+        })
+    }
+
+    /// Submits one query, panicking on rejection — for offline batch
+    /// callers that sized the batcher to their query set and never close
+    /// it mid-run.
     pub fn submit(&self, query: Query) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.queue.push(Pending { id, query });
-        self.oldest.lock().get_or_insert_with(Instant::now);
-        id
+        self.try_submit(query)
+            .expect("batcher sized for the submission set and not closed")
     }
 
     /// Queries submitted but not yet sealed into a wave.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.taken.load(Ordering::Acquire)
+        self.queue.len()
+    }
+
+    /// Total queries ever admitted (the next ticket to be issued).
+    pub fn submitted(&self) -> u64 {
+        self.queue.tickets_issued()
+    }
+
+    /// Age of the oldest still-pending query, or `None` when drained.
+    pub fn oldest_age(&self) -> Option<Duration> {
+        let (_, front) = self.queue.peek()?;
+        Some(
+            self.epoch
+                .elapsed()
+                .saturating_sub(Duration::from_nanos(front.submit_ns)),
+        )
     }
 
     /// True when the policy says a wave should be sealed now: a full batch
-    /// is pending, or a partial one has aged past `max_wait`.
+    /// is pending, or a partial one has aged past `max_wait` (the
+    /// continuous-batching close condition — whichever fires first).
     pub fn ready(&self) -> bool {
         let pending = self.pending();
         if pending >= self.opts.max_batch {
@@ -96,50 +154,65 @@ impl QueryBatcher {
         }
         pending > 0
             && self
-                .oldest
-                .lock()
-                .is_some_and(|t| t.elapsed() >= self.opts.max_wait)
+                .oldest_age()
+                .is_some_and(|age| age >= self.opts.max_wait)
     }
 
     /// Seals and returns the next wave (up to `max_batch` queries in
-    /// submission order), or `None` when nothing is pending. Records a
+    /// strict ticket order), or `None` when nothing is pending. Records a
     /// [`EventKind::BatchAdmit`] span covering the oldest query's wait when
     /// a trace session is active.
-    pub fn take_wave(&self) -> Option<Vec<(u64, Query)>> {
-        let chunk = self.queue.take_chunk(self.opts.max_batch)?;
-        self.taken.fetch_add(chunk.len(), Ordering::AcqRel);
-        let waited = {
-            let mut oldest = self.oldest.lock();
-            let waited = oldest.map(|t| t.elapsed()).unwrap_or_default();
-            *oldest = (self.pending() > 0).then(Instant::now);
-            waited
-        };
+    pub fn take_wave(&self) -> Option<Vec<Admitted>> {
+        let mut chunk: Vec<(u64, Pending)> = Vec::with_capacity(self.opts.max_batch);
+        if self.queue.pop_chunk(&mut chunk, self.opts.max_batch) == 0 {
+            return None;
+        }
+        let sealed_ns = self.epoch.elapsed().as_nanos() as u64;
+        let wave: Vec<Admitted> = chunk
+            .into_iter()
+            .map(|(id, p)| Admitted {
+                id,
+                query: p.query,
+                queued: Duration::from_nanos(sealed_ns.saturating_sub(p.submit_ns)),
+            })
+            .collect();
         if mcbfs_trace::enabled() {
             // Backdate the span to the first admission so the trace shows
             // the true batching delay, not just the seal call.
             let now = mcbfs_trace::now_ns();
-            let dur = waited.as_nanos() as u64;
+            let dur = wave[0].queued.as_nanos() as u64;
             mcbfs_trace::inject(
                 0,
                 vec![TraceEvent {
                     start_ns: now.saturating_sub(dur),
                     dur_ns: dur,
                     kind: EventKind::BatchAdmit,
-                    arg: chunk.len() as u64,
+                    arg: wave.len() as u64,
                 }],
             );
         }
-        Some(chunk.iter().map(|p| (p.id, p.query)).collect())
+        Some(wave)
     }
 
     /// Seals everything pending into consecutive waves (a flush — ignores
     /// `max_wait`).
-    pub fn drain(&self) -> Vec<Vec<(u64, Query)>> {
+    pub fn drain(&self) -> Vec<Vec<Admitted>> {
         let mut waves = Vec::new();
         while let Some(wave) = self.take_wave() {
             waves.push(wave);
         }
         waves
+    }
+
+    /// Stops admitting; pending queries remain sealable. The shutdown
+    /// handshake is close → drain → exit.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// `true` once [`QueryBatcher::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
     }
 }
 
@@ -149,6 +222,10 @@ mod tests {
 
     fn q(root: u32) -> Query {
         Query::Distances { root }
+    }
+
+    fn ids(waves: &[Vec<Admitted>]) -> Vec<u64> {
+        waves.iter().flatten().map(|a| a.id).collect()
     }
 
     #[test]
@@ -168,8 +245,7 @@ mod tests {
         assert_eq!(waves.len(), 3);
         assert_eq!(waves[0].len(), 3);
         assert_eq!(waves[2].len(), 1);
-        let ids: Vec<u64> = waves.iter().flatten().map(|&(id, _)| id).collect();
-        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+        assert_eq!(ids(&waves), (0..7).collect::<Vec<_>>());
         assert_eq!(b.pending(), 0);
         assert!(b.take_wave().is_none());
     }
@@ -187,7 +263,13 @@ mod tests {
         b.submit(q(0));
         std::thread::sleep(Duration::from_millis(2));
         assert!(b.ready(), "aged partial wave is ready");
-        assert_eq!(b.take_wave().unwrap().len(), 1);
+        let wave = b.take_wave().unwrap();
+        assert_eq!(wave.len(), 1);
+        assert!(
+            wave[0].queued >= Duration::from_millis(2),
+            "queued {:?} under the sleep",
+            wave[0].queued
+        );
         assert!(!b.ready());
     }
 
@@ -210,7 +292,50 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_submission_loses_nothing() {
+    fn bounded_admission_sheds_then_recovers() {
+        let b = QueryBatcher::new(BatcherOpts::default(), 2);
+        assert_eq!(b.try_submit(q(0)), Ok(0));
+        assert_eq!(b.try_submit(q(1)), Ok(1));
+        assert_eq!(b.try_submit(q(2)), Err(AdmitError::Overloaded));
+        let wave = b.take_wave().unwrap();
+        assert_eq!(wave.len(), 2);
+        // Depth freed: admission resumes with the next dense ticket.
+        assert_eq!(b.try_submit(q(3)), Ok(2));
+        assert_eq!(b.submitted(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_rejects() {
+        let b = QueryBatcher::new(BatcherOpts::default(), 8);
+        b.submit(q(0));
+        b.close();
+        assert!(b.is_closed());
+        assert_eq!(b.try_submit(q(1)), Err(AdmitError::Closed));
+        assert_eq!(b.take_wave().unwrap().len(), 1);
+        assert!(b.take_wave().is_none());
+    }
+
+    #[test]
+    fn reusable_after_drain_to_empty() {
+        // Regression: the previous SharedQueue-backed batcher lost queries
+        // submitted after a drain had overshot the dequeue cursor.
+        let b = QueryBatcher::new(BatcherOpts::default(), 8);
+        b.submit(q(0));
+        assert_eq!(b.drain().len(), 1);
+        assert!(b.take_wave().is_none());
+        b.submit(q(1));
+        let waves = b.drain();
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0][0].id, 1);
+        assert_eq!(
+            waves[0][0].query,
+            Query::Distances { root: 1 },
+            "post-drain submission must not be lost"
+        );
+    }
+
+    #[test]
+    fn concurrent_submission_loses_nothing_and_stays_fifo() {
         let b = QueryBatcher::new(BatcherOpts::default(), 400);
         std::thread::scope(|s| {
             for t in 0..4 {
@@ -223,8 +348,8 @@ mod tests {
             }
         });
         let waves = b.drain();
-        let mut ids: Vec<u64> = waves.iter().flatten().map(|&(id, _)| id).collect();
-        ids.sort_unstable();
-        assert_eq!(ids, (0..400).collect::<Vec<_>>());
+        // Tickets are dense, and waves preserve strict ticket order even
+        // under concurrent submission — no sort needed.
+        assert_eq!(ids(&waves), (0..400).collect::<Vec<_>>());
     }
 }

@@ -14,7 +14,7 @@
 //! resulting profiles with a [`MachineModel`] — so a batched serving
 //! experiment is exactly reproducible on this host.
 
-use crate::batcher::{BatcherOpts, QueryBatcher};
+use crate::batcher::{Admitted, BatcherOpts, QueryBatcher};
 use crate::msbfs::{
     depth_histogram_of, ms_bfs_deterministic_raw, ms_bfs_raw, reachable_edges_of, MsBfsRun,
     RawMsBfs, MAX_SOURCES,
@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// One admitted query. `Copy + Default` so it can ride the
-/// `sync::workq::SharedQueue` admission path.
+/// `sync::workq::ContinuousQueue` admission ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Query {
     /// Full BFS tree from `root` (parents + depths).
@@ -146,9 +146,14 @@ pub struct QueryOutcome {
     pub result: QueryResult,
     /// Index of the wave that served it.
     pub wave: usize,
-    /// Seconds from batch start to this query's wave completing
-    /// (wall-clock native, predicted in model mode).
+    /// Seconds from **submission** to this query's wave completing:
+    /// `queue_seconds` plus the dispatch wait and execution (wall-clock
+    /// native, predicted in model mode).
     pub latency_seconds: f64,
+    /// Seconds spent queued in the batcher, submission to wave seal.
+    pub queue_seconds: f64,
+    /// Execution seconds of the wave that served this query.
+    pub service_seconds: f64,
     /// TEPS numerator: adjacency entries of every vertex this search
     /// reached.
     pub edges: u64,
@@ -200,15 +205,11 @@ impl BatchReport {
         self.total_edges() as f64 / self.seconds.max(1e-9)
     }
 
-    /// The `q`-quantile of per-query latency (0 ≤ q ≤ 1), seconds.
+    /// The nearest-rank `q`-quantile of per-query latency (0 ≤ q ≤ 1),
+    /// seconds (see [`crate::stats::nearest_rank_quantile`]).
     pub fn latency_quantile(&self, q: f64) -> f64 {
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        let mut lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency_seconds).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let idx = ((lat.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        lat[idx]
+        let lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency_seconds).collect();
+        crate::stats::nearest_rank_quantile(&lat, q)
     }
 }
 
@@ -326,6 +327,9 @@ impl<'g> QueryEngine<'g> {
             });
             mcbfs_trace::register_worker(0);
         }
+        // The batch clock starts before admission so the reported makespan
+        // bounds every per-query latency (which counts queue time).
+        let start = Instant::now();
         let batcher = QueryBatcher::new(
             BatcherOpts {
                 max_batch: self.max_batch,
@@ -338,7 +342,7 @@ impl<'g> QueryEngine<'g> {
         }
         let waves = batcher.drain();
         let mut report = match &self.mode {
-            ExecMode::Native => self.execute_native(&waves),
+            ExecMode::Native => self.execute_native(&waves, start),
             ExecMode::Model(_) => self.execute_model(&waves),
         };
         report.outcomes.sort_by_key(|o| o.id);
@@ -349,17 +353,37 @@ impl<'g> QueryEngine<'g> {
         report
     }
 
+    /// Executes one externally-sealed wave — the serving path, where the
+    /// caller owns the [`QueryBatcher`] and seals waves under its own
+    /// deadline policy. Runs the exact same kernel and result assembly as
+    /// the offline [`QueryEngine::execute`], so wire answers match offline
+    /// answers by construction. `queue_seconds` flows from each
+    /// [`Admitted::queued`]; outcomes come back in ticket order.
+    pub fn execute_wave(&self, wave: &[Admitted]) -> BatchReport {
+        let start = Instant::now();
+        let waves = [wave.to_vec()];
+        let mut report = match &self.mode {
+            ExecMode::Native => self.execute_native(&waves, start),
+            ExecMode::Model(_) => self.execute_model(&waves),
+        };
+        report.outcomes.sort_by_key(|o| o.id);
+        report
+    }
+
     /// Native dispatch: `sockets` concurrent dispatchers claim waves from a
     /// shared cursor (one dispatcher ≙ one socket group of
-    /// `core::throughput`); latency is wall-clock from batch start to the
-    /// query's wave completing.
-    fn execute_native(&self, waves: &[Vec<(u64, Query)>]) -> BatchReport {
+    /// `core::throughput`); latency is the query's batcher queue time plus
+    /// wall-clock from batch start to its wave completing.
+    fn execute_native(&self, waves: &[Vec<Admitted>], start: Instant) -> BatchReport {
         let cursor = AtomicUsize::new(0);
         // (wave, socket, latency, kernel): only kernels run inside the
         // serving clock; extraction and statistics happen after the join.
         type Collected<'g> = Vec<(usize, usize, f64, WaveKernel<'g>)>;
         let collected: TicketLock<Collected<'g>> = TicketLock::new(Vec::new());
-        let start = Instant::now();
+        // Dispatch-relative clock for per-wave completion; `start` (the
+        // batch epoch, pre-admission) bounds the reported makespan so
+        // `latency_seconds <= seconds` holds even with queue time counted.
+        let exec_start = Instant::now();
         scoped_run(self.sockets.min(waves.len().max(1)), None, |socket| {
             loop {
                 let w = cursor.fetch_add(1, Ordering::Relaxed);
@@ -369,7 +393,7 @@ impl<'g> QueryEngine<'g> {
                 let timer = SpanTimer::start();
                 let kernel = self.run_wave_kernel(&waves[w]);
                 timer.finish(EventKind::BatchExecute, waves[w].len() as u64);
-                let latency = start.elapsed().as_secs_f64();
+                let latency = exec_start.elapsed().as_secs_f64();
                 collected.lock().push((w, socket, latency, kernel));
             }
             mcbfs_trace::flush_thread();
@@ -385,7 +409,8 @@ impl<'g> QueryEngine<'g> {
             let (mut outcomes, mut stats) = self.assemble_wave(w, &waves[w], kernel);
             stats.socket = socket;
             for o in &mut outcomes {
-                o.latency_seconds = latency;
+                o.service_seconds = stats.seconds;
+                o.latency_seconds = o.queue_seconds + latency;
             }
             report.outcomes.extend(outcomes);
             report.waves.push(stats);
@@ -397,7 +422,7 @@ impl<'g> QueryEngine<'g> {
     /// (each priced inside [`QueryEngine::run_wave`]) and are scheduled
     /// round-robin onto the socket groups; a query's latency is its group's
     /// cumulative schedule.
-    fn execute_model(&self, waves: &[Vec<(u64, Query)>]) -> BatchReport {
+    fn execute_model(&self, waves: &[Vec<Admitted>]) -> BatchReport {
         let mut socket_clock = vec![0.0f64; self.sockets];
         let mut report = BatchReport::default();
         for (w, wave) in waves.iter().enumerate() {
@@ -408,6 +433,10 @@ impl<'g> QueryEngine<'g> {
             stats.socket = socket;
             socket_clock[socket] += stats.seconds;
             for o in &mut outcomes {
+                // Model mode is deterministic: price only the modeled
+                // schedule, not the wall-clock batcher queue time.
+                o.queue_seconds = 0.0;
+                o.service_seconds = stats.seconds;
                 o.latency_seconds = socket_clock[socket];
             }
             report.outcomes.extend(outcomes);
@@ -419,23 +448,23 @@ impl<'g> QueryEngine<'g> {
 
     /// Executes one sealed wave: MS-BFS for 2+ queries, the fallback
     /// algorithm for singletons.
-    fn run_wave(&self, w: usize, wave: &[(u64, Query)]) -> (Vec<QueryOutcome>, WaveStats) {
+    fn run_wave(&self, w: usize, wave: &[Admitted]) -> (Vec<QueryOutcome>, WaveStats) {
         let kernel = self.run_wave_kernel(wave);
         self.assemble_wave(w, wave, kernel)
     }
 
     /// The timed part of a wave: just the traversal, no result extraction.
-    fn run_wave_kernel(&self, wave: &[(u64, Query)]) -> WaveKernel<'g> {
+    fn run_wave_kernel(&self, wave: &[Admitted]) -> WaveKernel<'g> {
         if wave.len() == 1 {
             let result = BfsRunner::new(self.graph)
                 .algorithm(self.fallback)
                 .threads(self.threads)
                 .mode(self.mode.clone())
-                .run(wave[0].1.source());
+                .run(wave[0].query.source());
             return WaveKernel::Single(result);
         }
-        let sources: Vec<VertexId> = wave.iter().map(|&(_, q)| q.source()).collect();
-        let record_parents = wave.iter().any(|&(_, q)| q.wants_parents());
+        let sources: Vec<VertexId> = wave.iter().map(|a| a.query.source()).collect();
+        let record_parents = wave.iter().any(|a| a.query.wants_parents());
         WaveKernel::Ms(match &self.mode {
             ExecMode::Native => ms_bfs_raw(self.graph, &sources, self.threads, record_parents),
             ExecMode::Model(_) => {
@@ -448,7 +477,7 @@ impl<'g> QueryEngine<'g> {
     fn assemble_wave(
         &self,
         w: usize,
-        wave: &[(u64, Query)],
+        wave: &[Admitted],
         kernel: WaveKernel<'g>,
     ) -> (Vec<QueryOutcome>, WaveStats) {
         match kernel {
@@ -468,9 +497,10 @@ impl<'g> QueryEngine<'g> {
     fn assemble_singleton(
         &self,
         w: usize,
-        (id, query): (u64, Query),
+        admitted: Admitted,
         r: BfsResult,
     ) -> (Vec<QueryOutcome>, WaveStats) {
+        let Admitted { id, query, queued } = admitted;
         let depths = depths_from_parents(&r.parents);
         let edges = reachable_edges_of(self.graph, &depths);
         let outcome = QueryOutcome {
@@ -479,6 +509,8 @@ impl<'g> QueryEngine<'g> {
             result: result_for(query, depths, || r.parents.clone()),
             wave: w,
             latency_seconds: 0.0,
+            queue_seconds: queued.as_secs_f64(),
+            service_seconds: 0.0,
             edges,
             depth_histogram: r.stats.depth_histogram.clone(),
         };
@@ -497,7 +529,7 @@ impl<'g> QueryEngine<'g> {
     fn assemble(
         &self,
         w: usize,
-        wave: &[(u64, Query)],
+        wave: &[Admitted],
         run: MsBfsRun,
         seconds: f64,
     ) -> (Vec<QueryOutcome>, WaveStats) {
@@ -512,7 +544,7 @@ impl<'g> QueryEngine<'g> {
             .iter()
             .zip(depths)
             .enumerate()
-            .map(|(slot, (&(id, query), depths))| {
+            .map(|(slot, (&Admitted { id, query, queued }, depths))| {
                 let edges = reachable_edges_of(self.graph, &depths);
                 wave_edges += edges;
                 let depth_histogram = depth_histogram_of(&depths);
@@ -525,6 +557,8 @@ impl<'g> QueryEngine<'g> {
                     result,
                     wave: w,
                     latency_seconds: 0.0,
+                    queue_seconds: queued.as_secs_f64(),
+                    service_seconds: 0.0,
                     edges,
                     depth_histogram,
                 }

@@ -23,11 +23,11 @@ pub mod kernel;
 pub mod msbfs;
 pub mod stats;
 
-pub use batcher::{BatcherOpts, QueryBatcher};
+pub use batcher::{AdmitError, Admitted, BatcherOpts, QueryBatcher};
 pub use engine::{BatchReport, Query, QueryEngine, QueryOutcome, QueryResult, WaveStats};
 pub use kernel::{run_batched_kernel, BatchedKernelReport};
 pub use msbfs::{
     ms_bfs, ms_bfs_deterministic, ms_bfs_deterministic_raw, ms_bfs_raw, MsBfsRun, RawMsBfs,
     MAX_SOURCES,
 };
-pub use stats::{batch_stats, BatchStats, QueryStats};
+pub use stats::{batch_stats, nearest_rank_quantile, BatchStats, QueryStats};

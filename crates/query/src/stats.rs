@@ -4,6 +4,24 @@
 use crate::engine::{BatchReport, QueryResult};
 use serde::{Deserialize, Serialize};
 
+/// The nearest-rank `q`-quantile (0 ≤ q ≤ 1) of an unsorted sample, the
+/// textbook definition: the value at 1-indexed rank `⌈q·N⌉` of the sorted
+/// sample (rank clamped to `[1, N]`, so `q = 0` is the minimum and
+/// `q = 1` the maximum). Returns 0 for an empty sample.
+///
+/// This is the one quantile definition shared by the batch report, the
+/// server's live stats and the load generator — replacing the ad-hoc
+/// index arithmetic each used to carry.
+pub fn nearest_rank_quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// One query's serving record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryStats {
@@ -17,8 +35,13 @@ pub struct QueryStats {
     pub target: Option<u32>,
     /// Wave that served the query.
     pub wave: usize,
-    /// Milliseconds from batch start to the wave completing.
+    /// Milliseconds from submission to the wave completing
+    /// (`queue_ms` + dispatch wait + execution).
     pub latency_ms: f64,
+    /// Milliseconds queued in the batcher, submission to wave seal.
+    pub queue_ms: f64,
+    /// Execution milliseconds of the wave that served this query.
+    pub service_ms: f64,
     /// TEPS numerator (reachable adjacency entries).
     pub edges: u64,
     /// `s → t` hop distance for `stcon` queries that connected.
@@ -55,6 +78,8 @@ pub struct BatchStats {
     pub p50_latency_ms: f64,
     /// 99th-percentile per-query latency, milliseconds.
     pub p99_latency_ms: f64,
+    /// 99.9th-percentile per-query latency, milliseconds.
+    pub p999_latency_ms: f64,
     /// Per-query records in submission order.
     pub per_query: Vec<QueryStats>,
 }
@@ -85,6 +110,8 @@ pub fn batch_stats(
                 target: o.query.target(),
                 wave: o.wave,
                 latency_ms: o.latency_seconds * 1e3,
+                queue_ms: o.queue_seconds * 1e3,
+                service_ms: o.service_seconds * 1e3,
                 edges: o.edges,
                 distance,
                 reachable,
@@ -104,6 +131,7 @@ pub fn batch_stats(
         aggregate_teps: report.aggregate_teps(),
         p50_latency_ms: report.latency_quantile(0.5) * 1e3,
         p99_latency_ms: report.latency_quantile(0.99) * 1e3,
+        p999_latency_ms: report.latency_quantile(0.999) * 1e3,
         per_query,
     }
 }
@@ -113,6 +141,49 @@ mod tests {
     use super::*;
     use crate::engine::{Query, QueryEngine};
     use mcbfs_gen::prelude::*;
+
+    #[test]
+    fn nearest_rank_on_known_distributions() {
+        // 1..=100: rank ⌈q·100⌉, 1-indexed — the textbook worked example.
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(nearest_rank_quantile(&v, 0.0), 1.0);
+        assert_eq!(nearest_rank_quantile(&v, 0.5), 50.0);
+        assert_eq!(nearest_rank_quantile(&v, 0.99), 99.0);
+        assert_eq!(nearest_rank_quantile(&v, 0.999), 100.0);
+        assert_eq!(nearest_rank_quantile(&v, 1.0), 100.0);
+        // Order-independence: the helper sorts internally.
+        let shuffled = [30.0, 10.0, 50.0, 20.0, 40.0];
+        assert_eq!(nearest_rank_quantile(&shuffled, 0.5), 30.0);
+        assert_eq!(nearest_rank_quantile(&shuffled, 0.25), 20.0);
+        // Small-N tail behaviour: with 5 samples p99 is the maximum
+        // (⌈0.99·5⌉ = 5), which ad-hoc (N-1)·q rounding gets wrong.
+        assert_eq!(nearest_rank_quantile(&shuffled, 0.99), 50.0);
+        // Singleton and empty.
+        assert_eq!(nearest_rank_quantile(&[7.5], 0.999), 7.5);
+        assert_eq!(nearest_rank_quantile(&[], 0.5), 0.0);
+        // Duplicates collapse to the repeated value across the middle.
+        let dup = [1.0, 2.0, 2.0, 2.0, 9.0];
+        assert_eq!(nearest_rank_quantile(&dup, 0.4), 2.0);
+        assert_eq!(nearest_rank_quantile(&dup, 0.79), 2.0);
+        assert_eq!(nearest_rank_quantile(&dup, 0.81), 9.0);
+    }
+
+    #[test]
+    fn per_query_timing_splits_queue_and_service() {
+        let g = UniformBuilder::new(500, 6).seed(11).build();
+        let queries: Vec<Query> = (0..6).map(|i| Query::Distances { root: i * 5 }).collect();
+        let report = QueryEngine::new(&g).max_batch(3).execute(&queries);
+        let stats = batch_stats(&report, 3, 1, 1, "native");
+        for q in &stats.per_query {
+            // Latency is measured from submission: it covers the queue
+            // time and at least the serving wave's execution.
+            assert!(q.latency_ms >= q.queue_ms, "{q:?}");
+            assert!(q.latency_ms >= q.service_ms, "{q:?}");
+            assert!(q.service_ms > 0.0, "{q:?}");
+        }
+        assert!(stats.p50_latency_ms <= stats.p99_latency_ms);
+        assert!(stats.p99_latency_ms <= stats.p999_latency_ms);
+    }
 
     #[test]
     fn stats_round_trip_through_json() {

@@ -1,0 +1,348 @@
+//! The TCP front-end: accept loop, per-connection readers, admission.
+//!
+//! Thread layout: the caller's thread runs the accept loop; each accepted
+//! connection gets a reader thread; one [`crate::scheduler`] thread seals
+//! and executes waves. A connection's stream is cloned into an
+//! `Arc<Mutex<TcpStream>>` writer handle shared between its reader (which
+//! answers `stats`/`ping`/rejections inline) and the scheduler (which
+//! writes query answers), so replies from both never interleave
+//! mid-frame.
+//!
+//! Admission is the reader-side path: a query frame is validated, then
+//! `try_submit` either yields a ticket (the request is parked in the
+//! pending map until its wave completes) or reports `Overloaded`/`Closed`,
+//! which the reader answers immediately with a structured `rejected`
+//! frame — the bounded queue sheds by replying, never by dropping.
+//!
+//! Shutdown is drain-then-exit: a [`ShutdownHandle`] request (or SIGINT
+//! via [`arm_sigint`]) flips the draining flag; readers stop admitting,
+//! the scheduler closes the batcher, executes every still-pending wave,
+//! answers them, and only then does [`serve`] return.
+
+use crate::scheduler;
+use crate::shed::{ServerStats, StatsHub};
+use crate::wire::{self, RejectReason, Request, Response};
+use mcbfs_graph::csr::CsrGraph;
+use mcbfs_query::{AdmitError, BatcherOpts, QueryBatcher, QueryEngine};
+use mcbfs_trace::EventKind;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Bind address, e.g. `127.0.0.1:7411` (port 0 picks a free port,
+    /// reported through `serve`'s ready callback).
+    pub addr: String,
+    /// Worker threads per wave (0 = the engine's default).
+    pub threads: usize,
+    /// Concurrent wave dispatchers (socket groups).
+    pub sockets: usize,
+    /// Queries per wave (clamped to the kernel width, 64).
+    pub max_batch: usize,
+    /// Continuous-batching age deadline: a partial wave is sealed once its
+    /// oldest query has waited this long.
+    pub max_wait: Duration,
+    /// Admission high-water mark: pending queries beyond this are shed
+    /// with an explicit `rejected: overloaded` reply.
+    pub queue_cap: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7411".to_string(),
+            threads: 0,
+            sockets: 1,
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+            default_deadline: None,
+        }
+    }
+}
+
+/// SIGINT latch shared between the C handler and [`ShutdownHandle`].
+static SIGINT_HIT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn sigint_trampoline(_signum: libc::c_int) {
+    SIGINT_HIT.store(true, Ordering::Release);
+}
+
+/// Installs a SIGINT handler that requests a graceful drain (every
+/// [`ShutdownHandle`] observes it). Call once before [`serve`].
+pub fn arm_sigint() {
+    unsafe {
+        let handler = sigint_trampoline as extern "C" fn(libc::c_int);
+        libc::signal(libc::SIGINT, handler as usize as libc::sighandler_t);
+    }
+}
+
+/// Cooperative shutdown request, shareable across threads.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// A handle with no request pending.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a graceful drain-then-exit.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown was requested (directly or via SIGINT).
+    pub fn requested(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || SIGINT_HIT.load(Ordering::Acquire)
+    }
+}
+
+/// Per-connection write handle; a `Mutex` keeps frames whole when the
+/// reader and the scheduler answer concurrently.
+pub(crate) type ConnWriter = Arc<Mutex<TcpStream>>;
+
+/// A query parked between admission and its wave completing.
+pub(crate) struct PendingEntry {
+    /// Client tag to echo.
+    pub tag: u64,
+    /// Where the answer goes.
+    pub writer: ConnWriter,
+    /// Admission time (the latency clock).
+    pub submitted: Instant,
+    /// Effective deadline (request's own, or the server default).
+    pub deadline: Option<Duration>,
+}
+
+/// State shared by the accept loop, readers, and the scheduler.
+pub(crate) struct Shared<'g> {
+    pub engine: QueryEngine<'g>,
+    pub batcher: QueryBatcher,
+    pub pending: Mutex<HashMap<u64, PendingEntry>>,
+    pub hub: StatsHub,
+    pub draining: AtomicBool,
+    pub max_wait: Duration,
+    pub vertices: u32,
+}
+
+impl Shared<'_> {
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.hub.snapshot(
+            self.batcher.submitted(),
+            self.pending.lock().expect("pending map lock").len() as u64,
+        )
+    }
+}
+
+/// Writes one frame; a failed write means the client left, which is not a
+/// serving error (the query itself was still accounted).
+pub(crate) fn write_frame(writer: &ConnWriter, response: &Response) {
+    let line = wire::encode(response);
+    let mut stream = writer.lock().expect("connection writer lock");
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|_| stream.flush());
+}
+
+/// Runs the server until `shutdown` is requested, then drains and returns
+/// the final statistics. `on_ready` fires once with the bound address
+/// (after which connections are being accepted).
+pub fn serve<F: FnOnce(SocketAddr)>(
+    graph: &CsrGraph,
+    opts: &ServeOpts,
+    shutdown: &ShutdownHandle,
+    on_ready: F,
+) -> std::io::Result<ServerStats> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let mut engine = QueryEngine::new(graph)
+        .max_batch(opts.max_batch)
+        .sockets(opts.sockets.max(1));
+    if opts.threads > 0 {
+        engine = engine.threads(opts.threads);
+    }
+    let shared = Shared {
+        engine,
+        batcher: QueryBatcher::new(
+            BatcherOpts {
+                max_batch: opts.max_batch,
+                max_wait: opts.max_wait,
+            },
+            opts.queue_cap,
+        ),
+        pending: Mutex::new(HashMap::new()),
+        hub: StatsHub::new(graph.num_vertices() as u64, graph.num_edges() as u64),
+        draining: AtomicBool::new(false),
+        max_wait: opts.max_wait,
+        vertices: graph.num_vertices() as u32,
+    };
+    let default_deadline = opts.default_deadline;
+
+    on_ready(addr);
+    std::thread::scope(|scope| {
+        let sched = scope.spawn(|| scheduler::run(&shared));
+        while !shutdown.requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self::spawn_connection(scope, stream, &shared, default_deadline);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // Transient accept failures (e.g. aborted handshakes)
+                // must not take the server down.
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // Drain-then-exit: stop admitting, let the scheduler flush every
+        // in-flight wave, then wait for readers to notice and finish.
+        shared.draining.store(true, Ordering::Release);
+        let _ = sched.join();
+    });
+    Ok(shared.stats())
+}
+
+fn spawn_connection<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    stream: TcpStream,
+    shared: &'scope Shared<'env>,
+    default_deadline: Option<Duration>,
+) {
+    shared.hub.connections.fetch_add(1, Ordering::Relaxed);
+    scope.spawn(move || run_connection(stream, shared, default_deadline));
+}
+
+/// One connection's reader loop: frames in, inline replies out, queries
+/// parked for the scheduler. Malformed lines get an `error` reply and the
+/// connection stays open.
+fn run_connection(stream: TcpStream, shared: &Shared<'_>, default_deadline: Option<Duration>) {
+    // Answers are sub-MTU JSON lines; Nagle would batch them behind
+    // delayed ACKs and dominate the measured latency.
+    stream.set_nodelay(true).ok();
+    // The periodic timeout is the drain poll: readers must notice
+    // shutdown without a frame arriving.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let writer: ConnWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !shared.draining() {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => handle_frame(&line, &writer, shared, default_deadline),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_frame(
+    line: &str,
+    writer: &ConnWriter,
+    shared: &Shared<'_>,
+    default_deadline: Option<Duration>,
+) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let request = match wire::decode::<Request>(line) {
+        Ok(r) => r,
+        Err(error) => {
+            shared.hub.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_frame(
+                writer,
+                &Response::Error {
+                    tag: wire::salvage_tag(line),
+                    error,
+                },
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Ping { tag } => write_frame(writer, &Response::Pong { tag }),
+        Request::Stats { tag } => write_frame(
+            writer,
+            &Response::Stats {
+                tag,
+                stats: shared.stats(),
+            },
+        ),
+        Request::Query {
+            tag,
+            query,
+            deadline_ms,
+        } => {
+            let out_of_range = query.source() >= shared.vertices
+                || query.target().is_some_and(|t| t >= shared.vertices);
+            if out_of_range {
+                shared.hub.errors.fetch_add(1, Ordering::Relaxed);
+                write_frame(
+                    writer,
+                    &Response::Error {
+                        tag: Some(tag),
+                        error: format!(
+                            "vertex out of range (graph has {} vertices)",
+                            shared.vertices
+                        ),
+                    },
+                );
+                return;
+            }
+            let deadline = deadline_ms
+                .map(|ms| Duration::from_secs_f64(ms.max(0.0) / 1e3))
+                .or(default_deadline);
+            // Submission and parking are atomic under the pending-map
+            // lock: the scheduler routes a ticket only after taking this
+            // lock itself, so it can never observe a submitted-but-not-
+            // parked query.
+            let mut pending = shared.pending.lock().expect("pending map lock");
+            match shared.batcher.try_submit(query) {
+                Ok(ticket) => {
+                    pending.insert(
+                        ticket,
+                        PendingEntry {
+                            tag,
+                            writer: Arc::clone(writer),
+                            submitted: Instant::now(),
+                            deadline,
+                        },
+                    );
+                }
+                Err(err) => {
+                    drop(pending);
+                    shared.hub.shed.fetch_add(1, Ordering::Relaxed);
+                    mcbfs_trace::instant(EventKind::QueryShed, shared.batcher.pending() as u64);
+                    let reason = match err {
+                        AdmitError::Overloaded => RejectReason::Overloaded,
+                        AdmitError::Closed => RejectReason::Draining,
+                    };
+                    write_frame(writer, &Response::Rejected { tag, reason });
+                }
+            }
+        }
+    }
+}

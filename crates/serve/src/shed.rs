@@ -1,0 +1,187 @@
+//! Admission accounting and the `stats` snapshot.
+//!
+//! The shedding *decision* is the batcher's bounded ring
+//! (`query::QueryBatcher::try_submit` returns `Overloaded` past the
+//! high-water mark); this module is the policy around it — every request
+//! ends in exactly one counter (`served`, `shed`, `timeouts`, or
+//! `errors`), so `served + shed + timeouts + errors == admitted + shed +
+//! errors` is checkable from the outside and nothing is ever dropped
+//! silently. A bounded reservoir of recent served latencies feeds the
+//! live quantiles in [`ServerStats`].
+
+use mcbfs_query::nearest_rank_quantile;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Recent served-latency samples kept for the live quantiles.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Live server statistics, as exposed by the `stats` wire command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Vertices in the served graph (the loadgen handshake reads this to
+    /// pick query endpoints).
+    pub vertices: u64,
+    /// Directed edges in the served graph.
+    pub edges: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Queries admitted into the batcher.
+    pub admitted: u64,
+    /// Queries answered with `ok`.
+    pub served: u64,
+    /// Queries rejected at admission (`overloaded` or `draining`).
+    pub shed: u64,
+    /// Queries answered with `timeout` (deadline expired).
+    pub timeouts: u64,
+    /// Query frames that parsed but could not be executed (e.g. vertex
+    /// out of range) and were answered with `error`.
+    pub errors: u64,
+    /// Inbound lines that failed to parse as `mcbfs-wire-v1` frames.
+    pub protocol_errors: u64,
+    /// Queries admitted but not yet answered.
+    pub in_flight: u64,
+    /// Waves executed.
+    pub waves: u64,
+    /// Sum of served queries' TEPS numerators.
+    pub served_edges: u64,
+    /// Aggregate serving rate over the uptime (`served_edges / uptime`).
+    pub aggregate_teps: f64,
+    /// Median served latency over the recent window, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile served latency over the recent window.
+    pub p99_latency_ms: f64,
+    /// 99.9th-percentile served latency over the recent window.
+    pub p999_latency_ms: f64,
+}
+
+/// Lock-light counters shared by the connection readers and the scheduler.
+pub struct StatsHub {
+    vertices: u64,
+    edges: u64,
+    started: Instant,
+    /// Accepted connections.
+    pub connections: AtomicU64,
+    /// Queries answered with `ok`.
+    pub served: AtomicU64,
+    /// Queries rejected at admission.
+    pub shed: AtomicU64,
+    /// Queries answered with `timeout`.
+    pub timeouts: AtomicU64,
+    /// Executable-but-invalid query frames answered with `error`.
+    pub errors: AtomicU64,
+    /// Unparseable inbound lines.
+    pub protocol_errors: AtomicU64,
+    /// Waves executed by the scheduler.
+    pub waves: AtomicU64,
+    /// Sum of served TEPS numerators.
+    pub served_edges: AtomicU64,
+    latencies_ms: Mutex<VecDeque<f64>>,
+}
+
+impl StatsHub {
+    /// A fresh hub for a graph of the given shape.
+    pub fn new(vertices: u64, edges: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            served_edges: AtomicU64::new(0),
+            latencies_ms: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+        }
+    }
+
+    /// Records one served query's latency into the quantile window.
+    pub fn record_latency_ms(&self, ms: f64) {
+        let mut w = self.latencies_ms.lock().expect("latency window lock");
+        if w.len() == LATENCY_WINDOW {
+            w.pop_front();
+        }
+        w.push_back(ms);
+    }
+
+    /// Snapshots everything into a wire-serializable [`ServerStats`].
+    /// `admitted`/`in_flight` come from the batcher (it owns those
+    /// counters).
+    pub fn snapshot(&self, admitted: u64, in_flight: u64) -> ServerStats {
+        let lat: Vec<f64> = {
+            let w = self.latencies_ms.lock().expect("latency window lock");
+            w.iter().copied().collect()
+        };
+        let uptime = self.started.elapsed().as_secs_f64();
+        let served_edges = self.served_edges.load(Ordering::Relaxed);
+        ServerStats {
+            vertices: self.vertices,
+            edges: self.edges,
+            uptime_seconds: uptime,
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            in_flight,
+            waves: self.waves.load(Ordering::Relaxed),
+            served_edges,
+            aggregate_teps: if uptime > 0.0 {
+                served_edges as f64 / uptime
+            } else {
+                0.0
+            },
+            p50_latency_ms: nearest_rank_quantile(&lat, 0.5),
+            p99_latency_ms: nearest_rank_quantile(&lat, 0.99),
+            p999_latency_ms: nearest_rank_quantile(&lat, 0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters_and_quantiles() {
+        let hub = StatsHub::new(100, 600);
+        hub.served.store(3, Ordering::Relaxed);
+        hub.shed.store(1, Ordering::Relaxed);
+        hub.served_edges.store(900, Ordering::Relaxed);
+        for ms in [1.0, 2.0, 3.0] {
+            hub.record_latency_ms(ms);
+        }
+        let s = hub.snapshot(4, 0);
+        assert_eq!(s.vertices, 100);
+        assert_eq!(s.admitted, 4);
+        assert_eq!(s.served, 3);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.p50_latency_ms, 2.0);
+        assert_eq!(s.p999_latency_ms, 3.0);
+        assert!(s.aggregate_teps > 0.0);
+        // Named-field struct: the stub derive round-trips it.
+        let back: ServerStats = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let hub = StatsHub::new(1, 1);
+        for i in 0..(LATENCY_WINDOW + 100) {
+            hub.record_latency_ms(i as f64);
+        }
+        let w = hub.latencies_ms.lock().unwrap();
+        assert_eq!(w.len(), LATENCY_WINDOW);
+        assert_eq!(*w.front().unwrap(), 100.0);
+    }
+}

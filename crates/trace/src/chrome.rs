@@ -119,6 +119,14 @@ fn event_json(trace: &Trace, tid: usize, e: &TraceEvent) -> String {
             format!("{} ({} queries)", e.kind.name(), e.arg),
             format!("{{\"queries\":{}}}", e.arg),
         ),
+        EventKind::QueryShed => (
+            e.kind.name().to_string(),
+            format!("{{\"pending\":{}}}", e.arg),
+        ),
+        EventKind::DeadlineMiss => (
+            e.kind.name().to_string(),
+            format!("{{\"in_flight_us\":{}}}", e.arg),
+        ),
         EventKind::LockWait | EventKind::LockHold => (e.kind.name().to_string(), "{}".to_string()),
     };
     if e.kind.is_span() {

@@ -46,6 +46,13 @@ pub enum EventKind {
     /// Execution of one sealed wave (multi-source kernel or singleton
     /// fallback), entry to exit. `arg` = number of queries in the wave.
     BatchExecute = 11,
+    /// Instant: the serving layer shed a request at admission (bounded
+    /// queue full). `arg` = pending queue depth at the shed decision.
+    QueryShed = 12,
+    /// Instant: a request's deadline expired before its answer could be
+    /// returned, so the server replied `timeout` instead of a stale
+    /// result. `arg` = microseconds the request had been in flight.
+    DeadlineMiss = 13,
 }
 
 impl EventKind {
@@ -64,6 +71,8 @@ impl EventKind {
             EventKind::DirectionSwitch => "direction_switch",
             EventKind::BatchAdmit => "batch_admit",
             EventKind::BatchExecute => "batch_execute",
+            EventKind::QueryShed => "query_shed",
+            EventKind::DeadlineMiss => "deadline_miss",
         }
     }
 
@@ -79,6 +88,7 @@ impl EventKind {
             | EventKind::ChannelOccupancy => "channel",
             EventKind::DirectionSwitch => "bfs",
             EventKind::BatchAdmit | EventKind::BatchExecute => "batch",
+            EventKind::QueryShed | EventKind::DeadlineMiss => "serve",
         }
     }
 
@@ -87,7 +97,11 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         !matches!(
             self,
-            EventKind::ChannelStall | EventKind::ChannelOccupancy | EventKind::DirectionSwitch
+            EventKind::ChannelStall
+                | EventKind::ChannelOccupancy
+                | EventKind::DirectionSwitch
+                | EventKind::QueryShed
+                | EventKind::DeadlineMiss
         )
     }
 }
@@ -125,6 +139,8 @@ mod tests {
             EventKind::DirectionSwitch,
             EventKind::BatchAdmit,
             EventKind::BatchExecute,
+            EventKind::QueryShed,
+            EventKind::DeadlineMiss,
         ];
         let spans = all.iter().filter(|k| k.is_span()).count();
         assert_eq!(spans, 9);

@@ -25,6 +25,10 @@
 //!   waves serving heterogeneous queries (trees, distances,
 //!   st-connectivity, reachability) with admission batching and
 //!   latency/aggregate-TEPS serving statistics;
+//! * [`serve`] — the networked serving front-end: `mcbfs-wire-v1` TCP
+//!   protocol, deadline-aware continuous batching with bounded-queue load
+//!   shedding, graceful drain on SIGINT, and the open/closed-loop load
+//!   generator behind `mcbfs serve` / `mcbfs loadgen`;
 //! * [`trace`] — the low-overhead per-thread event recorder behind
 //!   `BfsRunner::traced`, with Chrome-trace JSON and flat JSONL exporters
 //!   (compiled to no-ops without the `trace` cargo feature).
@@ -49,6 +53,7 @@ pub use mcbfs_gen as gen;
 pub use mcbfs_graph as graph;
 pub use mcbfs_machine as machine;
 pub use mcbfs_query as query;
+pub use mcbfs_serve as serve;
 pub use mcbfs_sync as sync;
 pub use mcbfs_trace as trace;
 

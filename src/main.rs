@@ -7,6 +7,8 @@
 //! mcbfs query --graph g.csr --sources sources.txt --batch 64
 //! mcbfs components --graph g.csr
 //! mcbfs stcon --graph g.csr --source 0 --target 99
+//! mcbfs serve --graph g.csr --addr 127.0.0.1:7411 --max-batch 64
+//! mcbfs loadgen --addr 127.0.0.1:7411 --rate 500 --duration-s 5
 //! mcbfs model --machine ex --graph g.csr --threads 64
 //! mcbfs calibrate
 //! ```
@@ -45,6 +47,8 @@ fn main() {
         "query" => cmd_query(&opts),
         "components" => cmd_components(&opts),
         "stcon" => cmd_stcon(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "model" => cmd_model(&opts),
         "calibrate" => cmd_calibrate(&opts),
         "--help" | "-h" | "help" => usage(""),
@@ -76,6 +80,13 @@ fn usage(err: &str) -> ! {
          \x20 components  --graph PATH [--threads T]\n\
          \x20 stcon       --graph PATH --source S --target T [--stats-json FILE]\n\
          \x20             (exit code 1 when disconnected)\n\
+         \x20 serve       --graph PATH [--addr HOST:PORT] [--threads T] [--sockets S]\n\
+         \x20             [--max-batch B] [--max-wait-us U] [--queue-cap Q]\n\
+         \x20             [--deadline-ms D] [--stats-json FILE]\n\
+         \x20             (SIGINT drains in-flight waves, then exits)\n\
+         \x20 loadgen     --addr HOST:PORT [--rate QPS | --closed-loop]\n\
+         \x20             [--connections C] [--duration-s S] [--seed S]\n\
+         \x20             [--deadline-ms D] [--slo-ms L] [--smoke] [--stats-json FILE]\n\
          \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
          \x20             [--reorder none|degree|bfs|random] [--reorder-seed S]\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
@@ -495,6 +506,121 @@ fn cmd_stcon(opts: &HashMap<String, String>) {
             // Scriptability: a missing path is a distinguishable exit code.
             exit(1);
         }
+    }
+}
+
+/// `mcbfs serve`: run the wire-v1 query server until SIGINT, then drain.
+fn cmd_serve(opts: &HashMap<String, String>) {
+    use multicore_bfs::serve::{arm_sigint, serve, ServeOpts, ShutdownHandle};
+    let graph = load_graph(opts);
+    let deadline_s: f64 = get(opts, "deadline-ms", -1.0f64) / 1e3;
+    let serve_opts = ServeOpts {
+        addr: get(opts, "addr", "127.0.0.1:7411".to_string()),
+        threads: get(opts, "threads", 0usize),
+        sockets: get(opts, "sockets", 1usize),
+        max_batch: get(opts, "max-batch", 64usize),
+        max_wait: std::time::Duration::from_micros(get(opts, "max-wait-us", 2_000u64)),
+        queue_cap: get(opts, "queue-cap", 256usize),
+        default_deadline: (deadline_s > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(deadline_s)),
+    };
+    arm_sigint();
+    let shutdown = ShutdownHandle::new();
+    let stats = serve(&graph, &serve_opts, &shutdown, |addr| {
+        println!(
+            "mcbfs-serve (wire-v1) listening on {addr}: {} vertices, {} edges, \
+             max_batch {}, max_wait {:?}, queue_cap {}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            serve_opts.max_batch,
+            serve_opts.max_wait,
+            serve_opts.queue_cap
+        );
+    })
+    .unwrap_or_else(|e| usage(&format!("serve failed: {e}")));
+    println!(
+        "drained and stopped after {:.1}s: {} admitted, {} served, {} shed, \
+         {} timeouts, {} errors, {} protocol errors, {} waves, p99 {:.3} ms",
+        stats.uptime_seconds,
+        stats.admitted,
+        stats.served,
+        stats.shed,
+        stats.timeouts,
+        stats.errors,
+        stats.protocol_errors,
+        stats.waves,
+        stats.p99_latency_ms
+    );
+    if let Some(path) = opts.get("stats-json") {
+        let json = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
+}
+
+/// `mcbfs loadgen`: drive a live server and report latency/throughput.
+fn cmd_loadgen(opts: &HashMap<String, String>) {
+    use multicore_bfs::serve::{loadgen, LoadgenOpts};
+    let smoke = opts.contains_key("smoke");
+    let closed = opts.contains_key("closed-loop");
+    let deadline_ms: f64 = get(opts, "deadline-ms", -1.0f64);
+    let lopts = LoadgenOpts {
+        addr: get(opts, "addr", "127.0.0.1:7411".to_string()),
+        connections: get(opts, "connections", if smoke { 2 } else { 4 }),
+        duration: std::time::Duration::from_secs_f64(get(
+            opts,
+            "duration-s",
+            if smoke { 1.5f64 } else { 5.0 },
+        )),
+        rate: if closed {
+            None
+        } else {
+            Some(get(opts, "rate", if smoke { 300.0f64 } else { 500.0 }))
+        },
+        seed: get(opts, "seed", 1u64),
+        deadline_ms: (deadline_ms > 0.0).then_some(deadline_ms),
+        slo_ms: get(opts, "slo-ms", 50.0f64),
+        grace: std::time::Duration::from_secs_f64(get(opts, "grace-s", 10.0f64)),
+    };
+    let report = loadgen::run(&lopts).unwrap_or_else(|e| usage(&format!("loadgen failed: {e}")));
+    println!(
+        "{} loop vs {}: offered {:.0} qps for {:.1}s",
+        if lopts.rate.is_some() {
+            "open"
+        } else {
+            "closed"
+        },
+        lopts.addr,
+        report.offered_qps,
+        report.seconds
+    );
+    println!(
+        "  submitted {} -> served {} / shed {} / timeout {} / error {} / unresolved {}",
+        report.submitted,
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.errors,
+        report.unresolved
+    );
+    println!(
+        "  achieved {:.1} qps, goodput {:.1} qps, {:.2} aggregate MTEPS",
+        report.achieved_qps,
+        report.goodput_qps,
+        report.aggregate_teps / 1e6
+    );
+    println!(
+        "  latency p50 {:.3} / p99 {:.3} / p999 {:.3} ms; SLO {:.1} ms attainment {:.1}%",
+        report.p50_latency_ms,
+        report.p99_latency_ms,
+        report.p999_latency_ms,
+        report.slo_ms,
+        report.slo_attainment * 1e2
+    );
+    if let Some(path) = opts.get("stats-json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
     }
 }
 

@@ -131,6 +131,65 @@ fn batched_64_is_4x_faster_than_sequential_loop() {
 }
 
 #[test]
+fn batcher_waves_preserve_strict_fifo_ticket_order() {
+    // Regression for the serving scheduler's ordering contract: tickets
+    // are dense submission indices, and sealed waves replay them in
+    // strict FIFO order even under concurrent producers — the property
+    // the wire layer's tag-matching and the accounting tests build on.
+    use multicore_bfs::query::{BatcherOpts, QueryBatcher};
+    use std::time::Duration;
+
+    let batcher = QueryBatcher::new(
+        BatcherOpts {
+            max_batch: 7,
+            max_wait: Duration::from_secs(60),
+        },
+        512,
+    );
+    std::thread::scope(|scope| {
+        for producer in 0..4u32 {
+            let batcher = &batcher;
+            scope.spawn(move || {
+                for i in 0..96 {
+                    // Root encodes the producer so the mapping ticket ->
+                    // query is checkable after the interleaving.
+                    let root = producer * 1_000 + i;
+                    let ticket = batcher
+                        .try_submit(Query::Distances { root })
+                        .expect("sized for the submission set");
+                    assert!(ticket < 384);
+                }
+            });
+        }
+    });
+    assert_eq!(batcher.submitted(), 384);
+    let mut next_ticket = 0u64;
+    let mut roots_seen = Vec::new();
+    while let Some(wave) = batcher.take_wave() {
+        assert!(wave.len() <= 7, "wave wider than max_batch");
+        for admitted in wave {
+            assert_eq!(
+                admitted.id, next_ticket,
+                "waves must replay tickets densely, in submission order"
+            );
+            next_ticket += 1;
+            roots_seen.push(admitted.query.source());
+        }
+    }
+    assert_eq!(next_ticket, 384, "no submission lost or duplicated");
+    // Each producer's own submissions stay in its program order.
+    for producer in 0..4u32 {
+        let mine: Vec<u32> = roots_seen
+            .iter()
+            .copied()
+            .filter(|r| r / 1_000 == producer)
+            .collect();
+        let expected: Vec<u32> = (0..96).map(|i| producer * 1_000 + i).collect();
+        assert_eq!(mine, expected, "producer {producer} reordered");
+    }
+}
+
+#[test]
 fn heterogeneous_batch_round_trips_all_kinds() {
     let g = RmatBuilder::new(12, 8).seed(5).permute(true).build();
     let levels = sequential_levels(&g, 3);

@@ -2,7 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the handful of bindings it actually uses: `sched_setaffinity`
-//! and the `cpu_set_t` helpers needed by `mcbfs-sync`'s thread pinning.
+//! and the `cpu_set_t` helpers needed by `mcbfs-sync`'s thread pinning,
+//! plus `signal` for `mcbfs-serve`'s graceful SIGINT drain.
 #![allow(non_camel_case_types, non_snake_case)]
 
 pub type c_int = i32;
@@ -36,9 +37,19 @@ pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
     cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
 }
 
+/// Keyboard interrupt (Ctrl-C).
+pub const SIGINT: c_int = 2;
+
+/// Handler address type for [`signal`] (a plain function pointer value;
+/// `SIG_DFL`/`SIG_IGN` are 0/1).
+pub type sighandler_t = usize;
+
 extern "C" {
     /// Binds `pid` (0 = calling thread) to the CPUs in `mask`.
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+
+    /// Installs `handler` for `signum`, returning the previous handler.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
 }
 
 #[cfg(test)]
