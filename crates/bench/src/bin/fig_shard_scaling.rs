@@ -1,0 +1,142 @@
+//! Sharded serving: throughput and exchange volume vs shard count.
+//!
+//! Not a figure of the source paper — this characterizes the sharded
+//! multi-worker topology (DESIGN.md §"Sharded serving") the way
+//! distributed BFS systems are evaluated: a fixed query batch runs
+//! through the in-process `ShardedEngine` at shard counts {1, 2, 4, 8},
+//! and for each count we report:
+//!
+//! * **queries/sec** — batch size over makespan. In model mode the
+//!   makespan is the cost model's prediction (max-shard scan time plus
+//!   the per-level exchange term), so the curve shows where exchange
+//!   overhead erases the per-shard compute win;
+//! * **exchange bytes per level round** — the swire traffic one BFS
+//!   level costs, averaged over the batch's level rounds. The engine
+//!   encodes the identical frames a live `mcbfs router` cluster ships,
+//!   so these bytes are the live cluster's bytes, not an estimate;
+//! * **exchange items** — destination-bucketed frontier discoveries per
+//!   level round, the protocol-independent volume floor.
+//!
+//! One shard is the degenerate baseline: the level loop runs but every
+//! target is owned, so the exchange carries empty buckets — the fixed
+//! per-level framing cost — and queries/sec is the single-process bound.
+//!
+//! `--smoke` shrinks to a scale-10 graph and an 8-query batch: a CI
+//! bit-rot check, not a measurement.
+
+use mcbfs_bench::cli::Args;
+use mcbfs_bench::report::Report;
+use mcbfs_gen::prelude::*;
+use mcbfs_machine::model::MachineModel;
+use mcbfs_query::Query;
+use mcbfs_shard::ShardedEngine;
+
+const SEED: u64 = 2026;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Sizing {
+    scale: u32,
+    queries: usize,
+    batch: usize,
+}
+
+fn sizing(args: &Args) -> Sizing {
+    if args.smoke {
+        Sizing {
+            scale: 10,
+            queries: 8,
+            batch: 8,
+        }
+    } else {
+        Sizing {
+            scale: 16,
+            queries: 64,
+            batch: 32,
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse("fig_shard_scaling");
+    let sz = sizing(&args);
+    let graph = RmatBuilder::new(sz.scale, 8)
+        .seed(SEED)
+        .permute(true)
+        .build();
+    let queries: Vec<Query> = (0..sz.queries)
+        .map(|i| Query::Distances {
+            root: (i as u32 * 131) % graph.num_vertices() as u32,
+        })
+        .collect();
+    eprintln!(
+        "# shard-scaling: rmat scale-{}, {} vertices, {} directed edges, \
+         {} queries in waves of <={}",
+        sz.scale,
+        graph.num_vertices(),
+        graph.num_edges(),
+        sz.queries,
+        sz.batch
+    );
+
+    let mut report = Report::new(
+        "Sharded serving: queries/sec and per-level exchange volume vs \
+         shard count (1D vertex-range cut, star exchange through the router)",
+        "shards",
+    );
+
+    for &shards in &SHARD_COUNTS {
+        let mut engine = ShardedEngine::new(&graph, shards).max_batch(sz.batch);
+        let mode = if args.mode.wants_native() && !args.mode.wants_model() {
+            "native"
+        } else {
+            engine = engine.model(MachineModel::nehalem_ex());
+            "model"
+        };
+        let batch = engine.execute(&queries);
+        let exchange = engine.exchange_log();
+        let rounds = exchange.levels.len().max(1) as f64;
+        let qps = sz.queries as f64 / batch.seconds.max(1e-12);
+        let bytes_per_round = exchange.total_bytes() as f64 / rounds;
+        let items_per_round = exchange.total_items() as f64 / rounds;
+        report.push(
+            "throughput",
+            &format!("{mode} qps"),
+            shards as f64,
+            qps,
+            "queries/s",
+        );
+        report.push(
+            "exchange_bytes",
+            "bytes/level round",
+            shards as f64,
+            bytes_per_round,
+            "bytes",
+        );
+        report.push(
+            "exchange_items",
+            "items/level round",
+            shards as f64,
+            items_per_round,
+            "items",
+        );
+        println!(
+            "# {shards} shard{}: [{mode}] {:.3} ms makespan, {:.0} queries/s; \
+             exchange {} frames / {} bytes / {} items over {} level rounds",
+            if shards == 1 { "" } else { "s" },
+            batch.seconds * 1e3,
+            qps,
+            exchange.total_frames(),
+            exchange.total_bytes(),
+            exchange.total_items(),
+            exchange.levels.len()
+        );
+        // Bookkeeping must close: every query answered, every level
+        // round carries one upward frame per shard.
+        assert_eq!(batch.outcomes.len(), sz.queries);
+        assert!(
+            exchange.total_frames() >= exchange.levels.len() as u64 * shards as u64,
+            "each level round ships at least one frame per shard"
+        );
+    }
+    report.finish(&args.out);
+}

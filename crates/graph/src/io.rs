@@ -7,6 +7,8 @@
 //! edge list:  magic "MCBE" | u64 n | u64 m | m × (u32 src, u32 dst)
 //! CSR:        magic "MCBC" | u64 n | u64 m | (n+1) × u64 offsets | m × u32 targets
 //! CSR v2:     magic "MCBR" | u64 n | u64 m | u32 reorder tag | (n+1) × u64 offsets | m × u32 targets
+//! shard:      magic "MCBS" | u64 n_global | u64 shards | u64 index | u64 local_m
+//!             | (owned+1) × u64 offsets | local_m × u32 global targets
 //! ```
 //!
 //! The `MCBR` variant is written for graphs saved after a
@@ -19,12 +21,16 @@
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::reorder::Reorder;
+use crate::shard::CsrShard;
 use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
 
 const EDGE_MAGIC: &[u8; 4] = b"MCBE";
 const CSR_MAGIC: &[u8; 4] = b"MCBC";
 const CSR_REORDERED_MAGIC: &[u8; 4] = b"MCBR";
+/// Magic prefix of a shard file (`write_shard`); public so tools can
+/// sniff whether a `.csr` path holds a whole graph or one shard.
+pub const SHARD_MAGIC: &[u8; 4] = b"MCBS";
 
 /// Errors arising while reading a graph file.
 #[derive(Debug)]
@@ -205,6 +211,74 @@ pub fn read_csr_tagged<R: Read>(r: &mut R) -> Result<(CsrGraph, Reorder), IoErro
         return Err(IoError::Corrupt("inconsistent CSR arrays"));
     }
     Ok((CsrGraph::from_raw_parts(offsets, targets), reorder))
+}
+
+/// Writes a graph shard in the `MCBS` binary format.
+pub fn write_shard<W: Write>(w: &mut W, shard: &CsrShard) -> Result<(), IoError> {
+    let mut header = Vec::with_capacity(36);
+    header.put_slice(SHARD_MAGIC);
+    header.put_u64_le(shard.num_vertices() as u64);
+    header.put_u64_le(shard.shards() as u64);
+    header.put_u64_le(shard.index() as u64);
+    header.put_u64_le(shard.local_edges() as u64);
+    w.write_all(&header)?;
+    let mut buf = Vec::with_capacity(16 * 1024);
+    for &o in shard.offsets() {
+        buf.put_u64_le(o);
+        if buf.len() >= 16 * 1024 - 8 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    for &t in shard.targets() {
+        buf.put_u32_le(t);
+        if buf.len() >= 16 * 1024 - 4 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a graph shard written by [`write_shard`], validating that the
+/// offsets/targets are consistent with the declared partition.
+pub fn read_shard<R: Read>(r: &mut R) -> Result<CsrShard, IoError> {
+    let mut header = [0u8; 36];
+    r.read_exact(&mut header)?;
+    let mut cur = &header[..];
+    let mut magic = [0u8; 4];
+    cur.copy_to_slice(&mut magic);
+    if &magic != SHARD_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let n_global = cur.get_u64_le() as usize;
+    let shards = cur.get_u64_le() as usize;
+    let index = cur.get_u64_le() as usize;
+    let local_m = cur.get_u64_le() as usize;
+    if shards == 0 || index >= shards {
+        return Err(IoError::Corrupt("shard index out of range"));
+    }
+    let owned = crate::partition::VertexPartition::new(n_global, shards).len(index);
+    let mut offsets_raw = vec![
+        0u8;
+        (owned + 1)
+            .checked_mul(8)
+            .ok_or(IoError::Corrupt("vertex count overflow"))?
+    ];
+    r.read_exact(&mut offsets_raw)?;
+    let mut cur = &offsets_raw[..];
+    let offsets: Vec<u64> = (0..=owned).map(|_| cur.get_u64_le()).collect();
+    let mut targets_raw = vec![
+        0u8;
+        local_m
+            .checked_mul(4)
+            .ok_or(IoError::Corrupt("edge count overflow"))?
+    ];
+    r.read_exact(&mut targets_raw)?;
+    let mut cur = &targets_raw[..];
+    let targets: Vec<VertexId> = (0..local_m).map(|_| cur.get_u32_le()).collect();
+    CsrShard::from_raw_parts(n_global, shards, index, offsets, targets).map_err(IoError::Corrupt)
 }
 
 /// Parses a whitespace-separated text edge list (`src dst` per line,
@@ -414,6 +488,50 @@ mod tests {
         // First offset lives right after the 20-byte header; make it 7.
         buf[20..28].copy_from_slice(&7u64.to_le_bytes());
         assert!(matches!(read_csr(&mut &buf[..]), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn shard_roundtrip_every_index() {
+        let g = CsrGraph::from_edges_symmetric(11, &[(0, 1), (1, 2), (3, 9), (4, 10), (7, 8)]);
+        for shards in [1, 2, 4] {
+            for i in 0..shards {
+                let s = CsrShard::cut(&g, shards, i);
+                let mut buf = Vec::new();
+                write_shard(&mut buf, &s).unwrap();
+                assert_eq!(&buf[..4], SHARD_MAGIC);
+                let back = read_shard(&mut &buf[..]).unwrap();
+                assert_eq!(back, s, "shards={shards} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_rejects_corruption() {
+        let g = CsrGraph::from_edges_symmetric(8, &[(0, 7), (1, 2), (3, 4)]);
+        let s = CsrShard::cut(&g, 2, 0);
+        let mut buf = Vec::new();
+        write_shard(&mut buf, &s).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(b"NOPE");
+        assert!(matches!(read_shard(&mut &bad[..]), Err(IoError::BadMagic)));
+        // Shard index out of declared range.
+        let mut bad = buf.clone();
+        bad[20..28].copy_from_slice(&9u64.to_le_bytes());
+        assert!(matches!(
+            read_shard(&mut &bad[..]),
+            Err(IoError::Corrupt(_))
+        ));
+        // Truncation.
+        let mut bad = buf.clone();
+        bad.truncate(bad.len() - 2);
+        assert!(matches!(read_shard(&mut &bad[..]), Err(IoError::Io(_))));
+        // Tampered first offset.
+        buf[36..44].copy_from_slice(&5u64.to_le_bytes());
+        assert!(matches!(
+            read_shard(&mut &buf[..]),
+            Err(IoError::Corrupt(_))
+        ));
     }
 
     #[test]

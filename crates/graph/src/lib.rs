@@ -27,6 +27,10 @@
 //!   generated labelling scatters hub vertices across the id space; a
 //!   locality-improving relabelling packs the hot visit state into few
 //!   cache lines, complementing the bitmap.
+//! * [`shard::CsrShard`] — the 1D vertex-range decomposition for
+//!   multi-*process* BFS: one contiguous owned range per shard, adjacency
+//!   kept with global target ids so cross-shard discoveries can be
+//!   bucketed by owner with partition arithmetic alone.
 //! * [`validate::validate_bfs_tree`] — a Graph500-style validator used by
 //!   every test and benchmark to prove each parallel run produced a correct
 //!   BFS tree.
@@ -40,6 +44,7 @@ pub mod io;
 pub mod ops;
 pub mod partition;
 pub mod reorder;
+pub mod shard;
 pub mod validate;
 
 pub use bitmap::AtomicBitmap;
@@ -47,4 +52,5 @@ pub use csr::{CsrGraph, VertexId, UNVISITED};
 pub use frontier::Frontier;
 pub use partition::VertexPartition;
 pub use reorder::{Permutation, Reorder};
+pub use shard::{shard_file_name, CsrShard};
 pub use validate::{validate_bfs_tree, BfsTreeInfo, ValidationError};

@@ -91,6 +91,14 @@ pub struct CostParams {
     /// Sustained random-access memory bandwidth per socket, bytes/s
     /// (3 × DDR3-1066 ≈ 25.6 GB/s theoretical; ~60% sustained).
     pub mem_bw_per_socket: f64,
+    /// Fixed cost of one frontier-exchange frame crossing a shard link
+    /// (framing, syscall, and receiver wakeup; loopback TCP with a
+    /// write+read round measures in the tens of microseconds).
+    pub link_frame_ns: f64,
+    /// Streaming cost per payload byte on a shard link (loopback is
+    /// memcpy-bound: ~1 GB/s effective for newline-JSON frames once
+    /// encode/decode is charged to the link).
+    pub link_byte_ns: f64,
 }
 
 impl Default for CostParams {
@@ -117,6 +125,8 @@ impl Default for CostParams {
             queue_push_ns: 4.0,
             smt_yield: 0.35,
             mem_bw_per_socket: 15.0e9,
+            link_frame_ns: 25_000.0,
+            link_byte_ns: 1.0,
         }
     }
 }
@@ -310,6 +320,15 @@ impl MachineModel {
         (self.params.barrier_base_ns + self.params.barrier_per_thread_ns * threads as f64) * 1e-9
     }
 
+    /// Predicted seconds for one level of sharded frontier exchange:
+    /// `frames` link crossings (each paying the fixed per-frame cost) plus
+    /// `bytes` of total payload streamed across the links. Used by the
+    /// sharded engine's model mode to price router↔worker communication —
+    /// message volume × link cost, per level.
+    pub fn exchange_seconds(&self, frames: u64, bytes: u64) -> f64 {
+        (frames as f64 * self.params.link_frame_ns + bytes as f64 * self.params.link_byte_ns) * 1e-9
+    }
+
     /// Prices one instrumented BFS run.
     pub fn predict(&self, profile: &WorkProfile) -> Prediction {
         let p = &self.params;
@@ -459,6 +478,20 @@ mod tests {
 
     fn ep() -> MachineModel {
         MachineModel::nehalem_ep()
+    }
+
+    #[test]
+    fn exchange_cost_is_linear_in_frames_and_bytes() {
+        let m = ep();
+        assert_eq!(m.exchange_seconds(0, 0), 0.0);
+        let per_frame = m.exchange_seconds(1, 0);
+        let per_byte = m.exchange_seconds(0, 1);
+        assert!(per_frame > 0.0 && per_byte > 0.0);
+        // A frame costs orders of magnitude more than a byte: volume only
+        // dominates once payloads reach tens of kilobytes.
+        assert!(per_frame > 1_000.0 * per_byte);
+        let combined = m.exchange_seconds(8, 10_000);
+        assert!((combined - (8.0 * per_frame + 10_000.0 * per_byte)).abs() < 1e-15);
     }
 
     #[test]

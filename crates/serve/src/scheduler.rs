@@ -20,7 +20,7 @@
 //! executes every remaining wave before exiting — admitted queries are
 //! always answered, even across shutdown.
 
-use crate::server::{write_frame, PendingEntry, Shared};
+use crate::server::{write_frame, PendingEntry, Shared, WaveExecutor};
 use crate::wire::{QueryReply, Response};
 use mcbfs_query::{Admitted, QueryResult};
 use mcbfs_trace::EventKind;
@@ -28,7 +28,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Runs the sealing loop until drained. Spawned by `server::serve`.
-pub(crate) fn run(shared: &Shared<'_>) {
+pub(crate) fn run<E: WaveExecutor>(shared: &Shared<E>) {
     // Poll at a fraction of the age deadline so a partial wave is sealed
     // within ~max_wait of its oldest query, without busy-spinning.
     let nap = (shared.max_wait / 4).clamp(Duration::from_micros(100), Duration::from_millis(1));
@@ -56,7 +56,7 @@ fn deadline_missed(entry: &PendingEntry) -> bool {
         .is_some_and(|d| entry.submitted.elapsed() > d)
 }
 
-fn reply_timeout(shared: &Shared<'_>, entry: &PendingEntry) {
+fn reply_timeout<E: WaveExecutor>(shared: &Shared<E>, entry: &PendingEntry) {
     let waited = entry.submitted.elapsed();
     shared.hub.timeouts.fetch_add(1, Ordering::Relaxed);
     mcbfs_trace::instant(EventKind::DeadlineMiss, waited.as_micros() as u64);
@@ -72,7 +72,7 @@ fn reply_timeout(shared: &Shared<'_>, entry: &PendingEntry) {
 /// Executes one sealed wave and routes every answer. Queries whose
 /// deadline already passed are timed out up front and excluded from the
 /// kernel run.
-fn execute_wave(shared: &Shared<'_>, wave: Vec<Admitted>) {
+fn execute_wave<E: WaveExecutor>(shared: &Shared<E>, wave: Vec<Admitted>) {
     shared.hub.waves.fetch_add(1, Ordering::Relaxed);
     let entries: Vec<Option<PendingEntry>> = {
         let mut pending = shared.pending.lock().expect("pending map lock");
@@ -95,7 +95,7 @@ fn execute_wave(shared: &Shared<'_>, wave: Vec<Admitted>) {
     if live.is_empty() {
         return;
     }
-    let report = shared.engine.execute_wave(&live);
+    let report = shared.executor.execute_wave(&live);
     let wave_queries = live.len() as u64;
     for (outcome, entry) in report.outcomes.iter().zip(&live_entries) {
         if deadline_missed(entry) {

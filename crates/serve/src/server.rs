@@ -23,7 +23,7 @@ use crate::scheduler;
 use crate::shed::{ServerStats, StatsHub};
 use crate::wire::{self, RejectReason, Request, Response};
 use mcbfs_graph::csr::CsrGraph;
-use mcbfs_query::{AdmitError, BatcherOpts, QueryBatcher, QueryEngine};
+use mcbfs_query::{AdmitError, Admitted, BatchReport, BatcherOpts, QueryBatcher, QueryEngine};
 use mcbfs_trace::EventKind;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -123,9 +123,33 @@ pub(crate) struct PendingEntry {
     pub deadline: Option<Duration>,
 }
 
+/// What the scheduler needs from a wave backend. The single-process
+/// server plugs in [`QueryEngine`] directly; the sharded router plugs in
+/// a scatter/gather executor that runs the wave across worker processes —
+/// the whole serving front (wire protocol, admission, batching, deadline
+/// bookkeeping, drain) is reused unchanged either way via [`serve_with`].
+pub trait WaveExecutor: Sync {
+    /// Executes one sealed wave; outcomes must be in wave order.
+    fn execute_wave(&self, wave: &[Admitted]) -> BatchReport;
+
+    /// Folds backend processes into a `stats` reply. `local` is this
+    /// process's snapshot and `window` its raw latency samples; the
+    /// default (single-process) topology reports `local` untouched.
+    fn merged_stats(&self, local: ServerStats, window: &[f64]) -> ServerStats {
+        let _ = window;
+        local
+    }
+}
+
+impl WaveExecutor for QueryEngine<'_> {
+    fn execute_wave(&self, wave: &[Admitted]) -> BatchReport {
+        QueryEngine::execute_wave(self, wave)
+    }
+}
+
 /// State shared by the accept loop, readers, and the scheduler.
-pub(crate) struct Shared<'g> {
-    pub engine: QueryEngine<'g>,
+pub(crate) struct Shared<E: WaveExecutor> {
+    pub executor: E,
     pub batcher: QueryBatcher,
     pub pending: Mutex<HashMap<u64, PendingEntry>>,
     pub hub: StatsHub,
@@ -134,16 +158,18 @@ pub(crate) struct Shared<'g> {
     pub vertices: u32,
 }
 
-impl Shared<'_> {
+impl<E: WaveExecutor> Shared<E> {
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
     }
 
     pub fn stats(&self) -> ServerStats {
-        self.hub.snapshot(
+        let local = self.hub.snapshot(
             self.batcher.submitted(),
             self.pending.lock().expect("pending map lock").len() as u64,
-        )
+        );
+        self.executor
+            .merged_stats(local, &self.hub.latency_window())
     }
 }
 
@@ -166,18 +192,41 @@ pub fn serve<F: FnOnce(SocketAddr)>(
     shutdown: &ShutdownHandle,
     on_ready: F,
 ) -> std::io::Result<ServerStats> {
-    let listener = TcpListener::bind(&opts.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-
     let mut engine = QueryEngine::new(graph)
         .max_batch(opts.max_batch)
         .sockets(opts.sockets.max(1));
     if opts.threads > 0 {
         engine = engine.threads(opts.threads);
     }
-    let shared = Shared {
+    serve_with(
         engine,
+        graph.num_vertices() as u64,
+        graph.num_edges() as u64,
+        opts,
+        shutdown,
+        on_ready,
+    )
+}
+
+/// [`serve`] with a pluggable wave backend: runs the full serving front
+/// (accept loop, readers, continuous-batching scheduler, drain) over any
+/// [`WaveExecutor`]. `vertices`/`edges` describe the graph the backend
+/// answers for (they gate admission-side range checks and seed the stats
+/// shape).
+pub fn serve_with<E: WaveExecutor, F: FnOnce(SocketAddr)>(
+    executor: E,
+    vertices: u64,
+    edges: u64,
+    opts: &ServeOpts,
+    shutdown: &ShutdownHandle,
+    on_ready: F,
+) -> std::io::Result<ServerStats> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Shared {
+        executor,
         batcher: QueryBatcher::new(
             BatcherOpts {
                 max_batch: opts.max_batch,
@@ -186,10 +235,10 @@ pub fn serve<F: FnOnce(SocketAddr)>(
             opts.queue_cap,
         ),
         pending: Mutex::new(HashMap::new()),
-        hub: StatsHub::new(graph.num_vertices() as u64, graph.num_edges() as u64),
+        hub: StatsHub::new(vertices, edges),
         draining: AtomicBool::new(false),
         max_wait: opts.max_wait,
-        vertices: graph.num_vertices() as u32,
+        vertices: vertices as u32,
     };
     let default_deadline = opts.default_deadline;
 
@@ -217,10 +266,10 @@ pub fn serve<F: FnOnce(SocketAddr)>(
     Ok(shared.stats())
 }
 
-fn spawn_connection<'scope, 'env>(
-    scope: &'scope std::thread::Scope<'scope, 'env>,
+fn spawn_connection<'scope, E: WaveExecutor>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
     stream: TcpStream,
-    shared: &'scope Shared<'env>,
+    shared: &'scope Shared<E>,
     default_deadline: Option<Duration>,
 ) {
     shared.hub.connections.fetch_add(1, Ordering::Relaxed);
@@ -230,7 +279,11 @@ fn spawn_connection<'scope, 'env>(
 /// One connection's reader loop: frames in, inline replies out, queries
 /// parked for the scheduler. Malformed lines get an `error` reply and the
 /// connection stays open.
-fn run_connection(stream: TcpStream, shared: &Shared<'_>, default_deadline: Option<Duration>) {
+fn run_connection<E: WaveExecutor>(
+    stream: TcpStream,
+    shared: &Shared<E>,
+    default_deadline: Option<Duration>,
+) {
     // Answers are sub-MTU JSON lines; Nagle would batch them behind
     // delayed ACKs and dominate the measured latency.
     stream.set_nodelay(true).ok();
@@ -259,10 +312,10 @@ fn run_connection(stream: TcpStream, shared: &Shared<'_>, default_deadline: Opti
     }
 }
 
-fn handle_frame(
+fn handle_frame<E: WaveExecutor>(
     line: &str,
     writer: &ConnWriter,
-    shared: &Shared<'_>,
+    shared: &Shared<E>,
     default_deadline: Option<Duration>,
 ) {
     if line.trim().is_empty() {
@@ -270,13 +323,19 @@ fn handle_frame(
     }
     let request = match wire::decode::<Request>(line) {
         Ok(r) => r,
-        Err(error) => {
+        Err(err) => {
             shared.hub.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            // A version mismatch parsed as JSON, so its tag is exact; only
+            // truly malformed lines fall back to best-effort salvage.
+            let tag = match &err {
+                wire::WireError::Version { tag, .. } => *tag,
+                wire::WireError::Malformed(_) => wire::salvage_tag(line),
+            };
             write_frame(
                 writer,
                 &Response::Error {
-                    tag: wire::salvage_tag(line),
-                    error,
+                    tag,
+                    error: err.to_string(),
                 },
             );
             return;

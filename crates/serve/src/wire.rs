@@ -23,6 +23,39 @@ use crate::shed::ServerStats;
 /// Protocol version stamped on (and required of) every frame.
 pub const WIRE_VERSION: u64 = 1;
 
+/// Why an inbound line failed to decode. Version mismatches are kept
+/// distinct from garbage: a well-formed frame from a future (or ancient)
+/// client deserves a structured `error: version …` reply carrying its
+/// exact tag, so mixed-version clients can detect the incompatibility
+/// programmatically instead of fishing through a generic parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is valid JSON but its `v` field is not [`WIRE_VERSION`].
+    Version {
+        /// The version the frame carried.
+        got: u64,
+        /// The frame's correlation tag, when it had one (exact, not
+        /// salvaged — the frame parsed as JSON).
+        tag: Option<u64>,
+    },
+    /// Anything else: not JSON, missing fields, unknown commands.
+    Malformed(String),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Version { got, .. } => write!(
+                f,
+                "version: this side speaks wire v{WIRE_VERSION}, frame carried v{got}"
+            ),
+            WireError::Malformed(e) => f.write_str(e),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// Why a request was rejected at admission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectReason {
@@ -334,10 +367,23 @@ pub fn encode<T: Serialize>(frame: &T) -> String {
     line
 }
 
-/// Decodes one inbound line into a frame. The error string is safe to echo
-/// back in an [`Response::Error`] frame.
-pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
-    serde_json::from_str(line.trim_end()).map_err(|e| e.0)
+/// Decodes one inbound line into a frame. Version mismatches are reported
+/// as [`WireError::Version`] (with the frame's exact tag when present);
+/// everything else is [`WireError::Malformed`], whose message is safe to
+/// echo back in an [`Response::Error`] frame.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, WireError> {
+    let value: Value =
+        serde_json::from_str(line.trim_end()).map_err(|e| WireError::Malformed(e.0))?;
+    match value.get("v").map(u64::from_value) {
+        Some(Ok(got)) if got != WIRE_VERSION => {
+            return Err(WireError::Version {
+                got,
+                tag: value.get("tag").and_then(|t| u64::from_value(t).ok()),
+            })
+        }
+        _ => {}
+    }
+    T::from_value(&value).map_err(|e| WireError::Malformed(e.0))
 }
 
 /// Best-effort tag recovery from a malformed query frame, so the error
@@ -416,14 +462,47 @@ mod tests {
 
     #[test]
     fn version_mismatch_and_malformed_frames_error() {
-        assert!(decode::<Request>("{\"v\":2,\"cmd\":\"ping\",\"tag\":1}").is_err());
-        assert!(decode::<Request>("not json").is_err());
-        assert!(decode::<Request>("{\"v\":1,\"cmd\":\"warp\",\"tag\":1}").is_err());
+        // A well-formed frame with the wrong version is a *version* error
+        // carrying the exact tag, not a generic parse failure.
+        assert_eq!(
+            decode::<Request>("{\"v\":2,\"cmd\":\"ping\",\"tag\":1}").unwrap_err(),
+            WireError::Version {
+                got: 2,
+                tag: Some(1)
+            }
+        );
+        assert_eq!(
+            decode::<Request>("{\"v\":0,\"cmd\":\"stats\"}").unwrap_err(),
+            WireError::Version { got: 0, tag: None }
+        );
+        assert!(matches!(
+            decode::<Request>("not json").unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        assert!(matches!(
+            decode::<Request>("{\"v\":1,\"cmd\":\"warp\",\"tag\":1}").unwrap_err(),
+            WireError::Malformed(_)
+        ));
         // stcon without a target is a structured error, not a panic.
         let e = decode::<Request>(
             "{\"v\":1,\"cmd\":\"query\",\"tag\":1,\"kind\":\"stcon\",\"source\":0}",
         );
-        assert!(e.unwrap_err().contains("target"));
+        assert!(e.unwrap_err().to_string().contains("target"));
+    }
+
+    #[test]
+    fn version_error_is_detectable_and_displayable() {
+        let e = decode::<Response>("{\"v\":3,\"status\":\"pong\",\"tag\":9}").unwrap_err();
+        assert_eq!(
+            e,
+            WireError::Version {
+                got: 3,
+                tag: Some(9)
+            }
+        );
+        let msg = e.to_string();
+        assert!(msg.starts_with("version:"), "{msg}");
+        assert!(msg.contains("v3") && msg.contains("v1"), "{msg}");
     }
 
     #[test]

@@ -163,7 +163,7 @@ proptest! {
         if let Ok(mangled) = String::from_utf8(bytes) {
             match wire::decode::<Request>(&mangled) {
                 Ok(_) => {}
-                Err(error) => prop_assert!(!error.is_empty()),
+                Err(error) => prop_assert!(!error.to_string().is_empty()),
             }
             let _ = wire::salvage_tag(&mangled);
         }

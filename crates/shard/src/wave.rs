@@ -1,0 +1,344 @@
+//! Per-shard wave execution: bit-parallel MS-BFS over one owned range.
+//!
+//! A [`ShardWave`] runs the multi-source kernel's bitmask regime — one
+//! `u64` of wave-slot bits per owned vertex — restricted to a
+//! [`CsrShard`]. Each level is the classic two-phase compute/communicate
+//! split: [`ShardWave::scan`] walks the owned frontier and either applies
+//! a discovery locally (target owned here) or pushes it into a
+//! per-destination [`ExchangeBuckets`] drain (target owned elsewhere);
+//! [`ShardWave::apply`] absorbs the items other shards discovered into
+//! this shard's range; [`ShardWave::advance`] is the level barrier.
+//!
+//! Everything is deterministic by construction: the frontier is rebuilt
+//! in owned-vertex order each level, adjacencies are scanned in CSR
+//! order, and remote items are applied in the router's shard-merge order
+//! — so two runs (or the live cluster and the in-process simulation)
+//! produce byte-identical exchange buckets and identical parent
+//! attributions.
+
+use crate::swire::ExchangeItem;
+use mcbfs_graph::csr::UNVISITED;
+use mcbfs_graph::shard::CsrShard;
+use mcbfs_sync::ExchangeBuckets;
+
+/// What one [`ShardWave::scan`] produced for the router.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanOutput {
+    /// Cross-shard discoveries, indexed by destination shard (this
+    /// shard's own bucket stays empty).
+    pub buckets: Vec<Vec<ExchangeItem>>,
+    /// True when the scan discovered an owned next-frontier vertex.
+    pub local_next: bool,
+    /// Adjacency entries scanned.
+    pub edges_scanned: u64,
+}
+
+/// Per-slot results over the owned range, produced by [`ShardWave::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveOutput {
+    /// Per slot: hop depths of the owned vertices (`u32::MAX` unreached).
+    pub depths: Vec<Vec<u32>>,
+    /// Per slot: parent attributions (`UNVISITED` unreached), when
+    /// recorded.
+    pub parents: Option<Vec<Vec<u32>>>,
+    /// Per slot: TEPS numerator share — adjacency entries of every
+    /// reached owned vertex.
+    pub slot_edges: Vec<u64>,
+    /// Levels executed (highest finite depth + 1, from this shard's view).
+    pub levels: u64,
+}
+
+/// Level-synchronous multi-source BFS state over one shard's owned range.
+pub struct ShardWave<'s> {
+    shard: &'s CsrShard,
+    slots: usize,
+    /// Per owned vertex: bits of every slot that has reached it (≤ level).
+    masks: Vec<u64>,
+    /// Per owned vertex: bits that reached it exactly at `level`.
+    current: Vec<u64>,
+    /// Per owned vertex: bits freshly discovered for `level + 1`.
+    next: Vec<u64>,
+    /// Slot-major depths over the owned range.
+    depths: Vec<Vec<u32>>,
+    /// Slot-major parents over the owned range, when recorded.
+    parents: Option<Vec<Vec<u32>>>,
+    level: u32,
+    /// Reused per-destination drains for the scan phase.
+    buckets: ExchangeBuckets<ExchangeItem>,
+}
+
+impl<'s> ShardWave<'s> {
+    /// Seeds a wave: slot `s` searches from `sources[s]`. Sources owned by
+    /// this shard enter the level-0 frontier with depth 0 and themselves
+    /// as parent; foreign sources are someone else's seed.
+    ///
+    /// # Panics
+    /// Panics when `sources` is empty or wider than 64 slots.
+    pub fn new(shard: &'s CsrShard, sources: &[u32], record_parents: bool) -> Self {
+        assert!(
+            !sources.is_empty() && sources.len() <= 64,
+            "wave width {} outside 1..=64",
+            sources.len()
+        );
+        let owned = shard.owned_len();
+        let mut wave = Self {
+            shard,
+            slots: sources.len(),
+            masks: vec![0; owned],
+            current: vec![0; owned],
+            next: vec![0; owned],
+            depths: vec![vec![u32::MAX; owned]; sources.len()],
+            parents: record_parents.then(|| vec![vec![UNVISITED; owned]; sources.len()]),
+            level: 0,
+            buckets: ExchangeBuckets::new(shard.shards()),
+        };
+        let start = shard.owned_range().start as u32;
+        for (slot, &src) in sources.iter().enumerate() {
+            if wave.shard.owner_of(src) == wave.shard.index() {
+                let local = (src - start) as usize;
+                let bit = 1u64 << slot;
+                wave.current[local] |= bit;
+                wave.masks[local] |= bit;
+                wave.depths[slot][local] = 0;
+                if let Some(p) = &mut wave.parents {
+                    p[slot][local] = src;
+                }
+            }
+        }
+        wave
+    }
+
+    /// The wave's current BFS level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Compute phase: scans the owned frontier at the current level.
+    /// Owned discoveries are applied inline (depth `level + 1`); foreign
+    /// ones are bucketed by owner for the router to route.
+    pub fn scan(&mut self) -> ScanOutput {
+        let start = self.shard.owned_range().start as u32;
+        let index = self.shard.index();
+        let mut edges_scanned = 0u64;
+        for local in 0..self.shard.owned_len() {
+            let bits = self.current[local];
+            if bits == 0 {
+                continue;
+            }
+            let u_global = start + local as u32;
+            for &v in self.shard.neighbors_global(local) {
+                edges_scanned += 1;
+                let owner = self.shard.owner_of(v);
+                if owner == index {
+                    self.apply_one(v - start, u_global, bits);
+                } else {
+                    self.buckets.push(
+                        owner,
+                        ExchangeItem {
+                            v,
+                            u: u_global,
+                            mask: bits,
+                        },
+                    );
+                }
+            }
+        }
+        let local_next = self.next.iter().any(|&b| b != 0);
+        let buckets = self.buckets.flip().to_vec();
+        ScanOutput {
+            buckets,
+            local_next,
+            edges_scanned,
+        }
+    }
+
+    /// Communicate phase: absorbs discoveries other shards made into this
+    /// shard's owned range at the current level. Items must arrive in the
+    /// router's deterministic merge order for reproducible parents.
+    pub fn apply(&mut self, items: &[ExchangeItem]) {
+        let start = self.shard.owned_range().start as u32;
+        for item in items {
+            debug_assert_eq!(self.shard.owner_of(item.v), self.shard.index());
+            self.apply_one(item.v - start, item.u, item.mask);
+        }
+    }
+
+    /// Level barrier: promotes the freshly discovered frontier and steps
+    /// the level. Call after [`ShardWave::scan`] + [`ShardWave::apply`].
+    pub fn advance(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.next);
+        for local in 0..self.current.len() {
+            self.masks[local] |= self.current[local];
+            self.next[local] = 0;
+        }
+        self.level += 1;
+    }
+
+    /// Marks the fresh bits of `mask` on owned vertex `local` at depth
+    /// `level + 1` with `u_global` as parent.
+    fn apply_one(&mut self, local: u32, u_global: u32, mask: u64) {
+        let local = local as usize;
+        let fresh = mask & !(self.masks[local] | self.next[local]);
+        if fresh == 0 {
+            return;
+        }
+        self.next[local] |= fresh;
+        let depth = self.level + 1;
+        let mut bits = fresh;
+        while bits != 0 {
+            let slot = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.depths[slot][local] = depth;
+            if let Some(p) = &mut self.parents {
+                p[slot][local] = u_global;
+            }
+        }
+    }
+
+    /// Extracts the per-slot owned-range results.
+    pub fn finish(self) -> WaveOutput {
+        let mut slot_edges = vec![0u64; self.slots];
+        let mut max_depth_plus_one = 0u64;
+        for (slot, depths) in self.depths.iter().enumerate() {
+            for (local, &d) in depths.iter().enumerate() {
+                if d != u32::MAX {
+                    slot_edges[slot] += self.shard.degree_local(local) as u64;
+                    max_depth_plus_one = max_depth_plus_one.max(d as u64 + 1);
+                }
+            }
+        }
+        WaveOutput {
+            depths: self.depths,
+            parents: self.parents,
+            slot_edges,
+            levels: max_depth_plus_one,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbfs_graph::csr::CsrGraph;
+
+    /// Drives a set of waves through the full level loop with the same
+    /// merge rule the router uses (senders in shard order).
+    fn run_sharded(graph: &CsrGraph, shards: usize, sources: &[u32]) -> (Vec<Vec<u32>>, Vec<u64>) {
+        let cut: Vec<CsrShard> = (0..shards)
+            .map(|i| CsrShard::cut(graph, shards, i))
+            .collect();
+        let mut waves: Vec<ShardWave> = cut
+            .iter()
+            .map(|s| ShardWave::new(s, sources, true))
+            .collect();
+        loop {
+            let outs: Vec<ScanOutput> = waves.iter_mut().map(|w| w.scan()).collect();
+            let empty = outs
+                .iter()
+                .all(|o| !o.local_next && o.buckets.iter().all(|b| b.is_empty()));
+            if empty {
+                break;
+            }
+            for (dst, wave) in waves.iter_mut().enumerate() {
+                let merged: Vec<ExchangeItem> = outs
+                    .iter()
+                    .flat_map(|o| o.buckets[dst].iter().copied())
+                    .collect();
+                wave.apply(&merged);
+                wave.advance();
+            }
+        }
+        let mut depths = vec![vec![u32::MAX; graph.num_vertices()]; sources.len()];
+        let mut slot_edges = vec![0u64; sources.len()];
+        for (shard, wave) in cut.iter().zip(waves) {
+            let out = wave.finish();
+            let range = shard.owned_range();
+            for slot in 0..sources.len() {
+                depths[slot][range.clone()].copy_from_slice(&out.depths[slot]);
+                slot_edges[slot] += out.slot_edges[slot];
+            }
+        }
+        (depths, slot_edges)
+    }
+
+    fn ring(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        CsrGraph::from_edges_symmetric(n, &edges)
+    }
+
+    #[test]
+    fn sharded_depths_match_single_shard_on_a_ring() {
+        let g = ring(23);
+        let sources = [0u32, 5, 11];
+        let (one, edges_one) = run_sharded(&g, 1, &sources);
+        for shards in [2, 4, 7] {
+            let (many, edges_many) = run_sharded(&g, shards, &sources);
+            assert_eq!(one, many, "{shards} shards");
+            assert_eq!(edges_one, edges_many, "{shards} shards");
+        }
+        // Ring distances are min(|v - s|, n - |v - s|).
+        for (slot, &s) in sources.iter().enumerate() {
+            for v in 0..23u32 {
+                let d = (v as i64 - s as i64)
+                    .unsigned_abs()
+                    .min(23 - (v as i64 - s as i64).unsigned_abs());
+                assert_eq!(one[slot][v as usize] as u64, d, "slot {slot} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parents_form_a_tree_across_shards() {
+        let g = ring(16);
+        let cut: Vec<CsrShard> = (0..3).map(|i| CsrShard::cut(&g, 3, i)).collect();
+        let mut waves: Vec<ShardWave> = cut.iter().map(|s| ShardWave::new(s, &[4], true)).collect();
+        loop {
+            let outs: Vec<ScanOutput> = waves.iter_mut().map(|w| w.scan()).collect();
+            if outs
+                .iter()
+                .all(|o| !o.local_next && o.buckets.iter().all(|b| b.is_empty()))
+            {
+                break;
+            }
+            for (dst, wave) in waves.iter_mut().enumerate() {
+                let merged: Vec<ExchangeItem> = outs
+                    .iter()
+                    .flat_map(|o| o.buckets[dst].iter().copied())
+                    .collect();
+                wave.apply(&merged);
+                wave.advance();
+            }
+        }
+        let mut parents = [UNVISITED; 16];
+        let mut depths = [u32::MAX; 16];
+        for (shard, wave) in cut.iter().zip(waves) {
+            let out = wave.finish();
+            let range = shard.owned_range();
+            parents[range.clone()].copy_from_slice(&out.parents.unwrap()[0]);
+            depths[range.clone()].copy_from_slice(&out.depths[0]);
+        }
+        assert_eq!(parents[4], 4);
+        for v in 0..16 {
+            if v == 4 {
+                continue;
+            }
+            let p = parents[v] as usize;
+            assert!(p < 16, "vertex {v} reached");
+            // A BFS tree edge climbs exactly one level.
+            assert_eq!(depths[v], depths[p] + 1, "vertex {v} parent {p}");
+            assert!(g.neighbors(p as u32).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn foreign_sources_do_not_seed_and_empty_waves_terminate() {
+        let g = ring(10);
+        let s1 = CsrShard::cut(&g, 2, 1); // owns 5..10
+        let mut wave = ShardWave::new(&s1, &[0], false);
+        // Source 0 is shard 0's; shard 1 starts with an empty frontier.
+        let out = wave.scan();
+        assert!(!out.local_next);
+        assert!(out.buckets.iter().all(|b| b.is_empty()));
+        assert_eq!(out.edges_scanned, 0);
+    }
+}

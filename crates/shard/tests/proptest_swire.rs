@@ -1,0 +1,47 @@
+//! Property test (ISSUE 10): shard-exchange frames survive the wire.
+//!
+//! The `exchange` frame is the protocol's hot path — every BFS level on
+//! every shard ships one — and its byte length doubles as the cost-model
+//! input, so `decode(encode(f)) == f` must hold for arbitrary bucket
+//! shapes, slot masks, and level stamps.
+
+use mcbfs_shard::swire::{decode, encode, Bucket, ExchangeItem, ShardFrame};
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = ExchangeItem> {
+    (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(v, u, mask)| ExchangeItem { v, u, mask })
+}
+
+fn arb_bucket() -> impl Strategy<Value = Bucket> {
+    (0u64..16, proptest::collection::vec(arb_item(), 0..24))
+        .prop_map(|(dst, items)| Bucket { dst, items })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exchange_frames_round_trip(
+        wave in any::<u64>(),
+        level in 0u64..1_000,
+        buckets in proptest::collection::vec(arb_bucket(), 0..8),
+        local_next in any::<bool>(),
+        edges_scanned in any::<u64>(),
+    ) {
+        let frame = ShardFrame::Exchange { wave, level, buckets, local_next, edges_scanned };
+        let line = encode(&frame);
+        prop_assert!(line.ends_with('\n'));
+        prop_assert_eq!(decode(&line).expect("well-formed frame decodes"), frame);
+    }
+
+    #[test]
+    fn merged_frames_round_trip(
+        wave in any::<u64>(),
+        level in 0u64..1_000,
+        items in proptest::collection::vec(arb_item(), 0..64),
+    ) {
+        let frame = ShardFrame::Merged { wave, level, items };
+        let line = encode(&frame);
+        prop_assert_eq!(decode(&line).expect("well-formed frame decodes"), frame);
+    }
+}

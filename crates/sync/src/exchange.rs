@@ -1,0 +1,145 @@
+//! Two-phase per-destination exchange buckets.
+//!
+//! The sharded BFS generalizes the paper's two-phase compute/communicate
+//! discipline (Algorithm 3) across process boundaries: during the *compute*
+//! phase a shard scans its frontier and accumulates cross-shard discoveries
+//! into one bucket per destination; at the *communicate* phase the filled
+//! buckets are handed off wholesale and a fresh (capacity-retaining) set
+//! takes their place. [`ExchangeBuckets`] is the single-owner analogue of
+//! the [`crate::fastforward::FastForward`] producer/consumer split — the
+//! fill side and the drain side are distinct storage, swapped at the phase
+//! boundary, so producing the next level never invalidates buffers still
+//! being serialized onto the wire.
+
+use core::mem;
+
+/// Double-buffered per-destination buckets for level-synchronous exchange.
+///
+/// # Examples
+///
+/// ```
+/// use mcbfs_sync::exchange::ExchangeBuckets;
+///
+/// let mut ex: ExchangeBuckets<u32> = ExchangeBuckets::new(3);
+/// ex.push(2, 7);
+/// ex.push(0, 1);
+/// assert_eq!(ex.pending(), 2);
+/// let drained = ex.flip();
+/// assert_eq!(drained[0], vec![1]);
+/// assert_eq!(drained[2], vec![7]);
+/// // The fill side is clean again for the next level.
+/// assert_eq!(ex.pending(), 0);
+/// ```
+pub struct ExchangeBuckets<T> {
+    /// Compute-phase side: `push` lands here.
+    fill: Vec<Vec<T>>,
+    /// Communicate-phase side: what the last `flip` exposed.
+    drain: Vec<Vec<T>>,
+}
+
+impl<T> ExchangeBuckets<T> {
+    /// Buckets for `peers` destinations (indices `0..peers`).
+    pub fn new(peers: usize) -> Self {
+        Self {
+            fill: (0..peers).map(|_| Vec::new()).collect(),
+            drain: (0..peers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of destinations.
+    #[inline]
+    pub fn peers(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// Appends `item` to the bucket for destination `dst`.
+    #[inline]
+    pub fn push(&mut self, dst: usize, item: T) {
+        self.fill[dst].push(item);
+    }
+
+    /// Appends every item of `iter` to the bucket for `dst`.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, dst: usize, iter: I) {
+        self.fill[dst].extend(iter);
+    }
+
+    /// Items accumulated on the fill side since the last flip.
+    pub fn pending(&self) -> usize {
+        self.fill.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing has been accumulated since the last flip.
+    pub fn is_empty(&self) -> bool {
+        self.fill.iter().all(Vec::is_empty)
+    }
+
+    /// Phase boundary: swaps the fill and drain sides, clears the new fill
+    /// side (retaining its capacity), and returns the buckets accumulated
+    /// during the compute phase — one `Vec` per destination, indexed by
+    /// destination.
+    pub fn flip(&mut self) -> &[Vec<T>] {
+        mem::swap(&mut self.fill, &mut self.drain);
+        for bucket in &mut self.fill {
+            bucket.clear();
+        }
+        &self.drain
+    }
+
+    /// The buckets exposed by the most recent [`Self::flip`].
+    pub fn drained(&self) -> &[Vec<T>] {
+        &self.drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_phase_roundtrip() {
+        let mut ex: ExchangeBuckets<(u32, u64)> = ExchangeBuckets::new(2);
+        ex.push(0, (1, 10));
+        ex.push(1, (2, 20));
+        ex.push(1, (3, 30));
+        assert_eq!(ex.pending(), 3);
+        assert!(!ex.is_empty());
+        let d = ex.flip();
+        assert_eq!(d[0], vec![(1, 10)]);
+        assert_eq!(d[1], vec![(2, 20), (3, 30)]);
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn flip_retains_capacity_and_clears() {
+        let mut ex: ExchangeBuckets<u32> = ExchangeBuckets::new(1);
+        ex.extend(0, 0..100);
+        ex.flip();
+        assert!(ex.is_empty());
+        // Second level reuses the old drain side's storage.
+        ex.extend(0, 100..200);
+        let cap_before = ex.fill[0].capacity();
+        let d = ex.flip();
+        assert_eq!(d[0].len(), 100);
+        assert_eq!(d[0][0], 100);
+        assert!(cap_before >= 100);
+    }
+
+    #[test]
+    fn drained_is_stable_while_filling() {
+        let mut ex: ExchangeBuckets<u8> = ExchangeBuckets::new(2);
+        ex.push(1, 9);
+        ex.flip();
+        // Producing the next phase does not disturb the drained view.
+        ex.push(1, 8);
+        assert_eq!(ex.drained()[1], vec![9]);
+        assert_eq!(ex.pending(), 1);
+    }
+
+    #[test]
+    fn empty_flip_yields_empty_buckets() {
+        let mut ex: ExchangeBuckets<u8> = ExchangeBuckets::new(3);
+        let d = ex.flip();
+        assert!(d.iter().all(Vec::is_empty));
+        assert_eq!(ex.peers(), 3);
+    }
+}

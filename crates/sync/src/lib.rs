@@ -26,7 +26,10 @@
 //!   enqueue — the `LockedDequeue` / `LockedEnqueue` primitives of the
 //!   pseudo-code ([`workq::SharedQueue`]);
 //! * a pinned worker pool standing in for the paper's pthread + affinity
-//!   setup ([`pool`], [`affinity`]).
+//!   setup ([`pool`], [`affinity`]);
+//! * double-buffered per-destination buckets for the sharded serving
+//!   tier's level exchange ([`exchange::ExchangeBuckets`]) — the
+//!   single-owner, two-phase analogue of the FastForward split.
 //!
 //! All primitives are independent of the graph code and are reusable for any
 //! pipeline-parallel or level-synchronous workload.
@@ -34,6 +37,7 @@
 pub mod affinity;
 pub mod barrier;
 pub mod channel;
+pub mod exchange;
 pub mod fastforward;
 pub mod mcs;
 pub mod pool;
@@ -42,6 +46,7 @@ pub mod workq;
 
 pub use barrier::SpinBarrier;
 pub use channel::{BatchBuffer, SocketChannel};
+pub use exchange::ExchangeBuckets;
 pub use fastforward::FastForward;
 pub use mcs::McsLock;
 pub use pool::WorkerPool;

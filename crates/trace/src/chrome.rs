@@ -127,6 +127,14 @@ fn event_json(trace: &Trace, tid: usize, e: &TraceEvent) -> String {
             e.kind.name().to_string(),
             format!("{{\"in_flight_us\":{}}}", e.arg),
         ),
+        EventKind::ShardExchange => (
+            e.kind.name().to_string(),
+            format!("{{\"bytes\":{}}}", e.arg),
+        ),
+        EventKind::ShardWait => (
+            e.kind.name().to_string(),
+            format!("{{\"level\":{}}}", e.arg),
+        ),
         EventKind::LockWait | EventKind::LockHold => (e.kind.name().to_string(), "{}".to_string()),
     };
     if e.kind.is_span() {

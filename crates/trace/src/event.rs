@@ -53,6 +53,15 @@ pub enum EventKind {
     /// returned, so the server replied `timeout` instead of a stale
     /// result. `arg` = microseconds the request had been in flight.
     DeadlineMiss = 13,
+    /// One per-level frontier exchange between shards (serializing,
+    /// sending and merging the destination-bucketed discovery lists).
+    /// `arg` = payload bytes moved during the exchange.
+    ShardExchange = 14,
+    /// Time a shard-coordinating party spent blocked waiting for its
+    /// counterpart's next frame (router waiting on a worker's level
+    /// report, or a worker waiting on the router's redistribution).
+    /// `arg` = BFS level being waited on.
+    ShardWait = 15,
 }
 
 impl EventKind {
@@ -73,6 +82,8 @@ impl EventKind {
             EventKind::BatchExecute => "batch_execute",
             EventKind::QueryShed => "query_shed",
             EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::ShardExchange => "shard_exchange",
+            EventKind::ShardWait => "shard_wait",
         }
     }
 
@@ -89,6 +100,7 @@ impl EventKind {
             EventKind::DirectionSwitch => "bfs",
             EventKind::BatchAdmit | EventKind::BatchExecute => "batch",
             EventKind::QueryShed | EventKind::DeadlineMiss => "serve",
+            EventKind::ShardExchange | EventKind::ShardWait => "shard",
         }
     }
 
@@ -141,9 +153,11 @@ mod tests {
             EventKind::BatchExecute,
             EventKind::QueryShed,
             EventKind::DeadlineMiss,
+            EventKind::ShardExchange,
+            EventKind::ShardWait,
         ];
         let spans = all.iter().filter(|k| k.is_span()).count();
-        assert_eq!(spans, 9);
+        assert_eq!(spans, 11);
         for k in all {
             assert!(!k.name().is_empty());
             assert!(!k.category().is_empty());

@@ -29,6 +29,11 @@
 //!   protocol, deadline-aware continuous batching with bounded-queue load
 //!   shedding, graceful drain on SIGINT, and the open/closed-loop load
 //!   generator behind `mcbfs serve` / `mcbfs loadgen`;
+//! * [`shard`] — sharded multi-worker serving: 1D vertex-range CSR
+//!   shards, per-shard worker processes, the scatter/gather router that
+//!   speaks `mcbfs-wire-v1` to clients and `mcbfs-swire-v1` to workers,
+//!   and the in-process [`shard::ShardedEngine`] whose model mode
+//!   predicts the live cluster's exchange volume byte-exactly;
 //! * [`trace`] — the low-overhead per-thread event recorder behind
 //!   `BfsRunner::traced`, with Chrome-trace JSON and flat JSONL exporters
 //!   (compiled to no-ops without the `trace` cargo feature).
@@ -54,6 +59,7 @@ pub use mcbfs_graph as graph;
 pub use mcbfs_machine as machine;
 pub use mcbfs_query as query;
 pub use mcbfs_serve as serve;
+pub use mcbfs_shard as shard;
 pub use mcbfs_sync as sync;
 pub use mcbfs_trace as trace;
 

@@ -9,6 +9,9 @@
 //! mcbfs stcon --graph g.csr --source 0 --target 99
 //! mcbfs serve --graph g.csr --addr 127.0.0.1:7411 --max-batch 64
 //! mcbfs loadgen --addr 127.0.0.1:7411 --rate 500 --duration-s 5
+//! mcbfs partition --graph g.csr --shards 4
+//! mcbfs shard --shard g.shard0of4.csr --addr 127.0.0.1:7501
+//! mcbfs router --workers 127.0.0.1:7501,127.0.0.1:7502 --addr 127.0.0.1:7411
 //! mcbfs model --machine ex --graph g.csr --threads 64
 //! mcbfs calibrate
 //! ```
@@ -24,6 +27,7 @@ use multicore_bfs::gen::stats::{degree_stats, locality_stats};
 use multicore_bfs::graph::csr::CsrGraph;
 use multicore_bfs::graph::io;
 use multicore_bfs::graph::reorder::Reorder;
+use multicore_bfs::graph::shard::{shard_file_name, CsrShard};
 use multicore_bfs::machine::calibrate::{calibrate_host, CalibrationEffort};
 use multicore_bfs::machine::model::MachineModel;
 use multicore_bfs::prelude::validate_bfs_tree;
@@ -49,6 +53,9 @@ fn main() {
         "stcon" => cmd_stcon(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "partition" => cmd_partition(&opts),
+        "shard" => cmd_shard(&opts),
+        "router" => cmd_router(&opts),
         "model" => cmd_model(&opts),
         "calibrate" => cmd_calibrate(&opts),
         "--help" | "-h" | "help" => usage(""),
@@ -76,7 +83,11 @@ fn usage(err: &str) -> ! {
          \x20             [--batched] [--batch B]\n\
          \x20 query       --graph PATH --sources FILE [--batch B] [--threads T]\n\
          \x20             [--sockets S] [--mode native|model] [--machine ep|ex]\n\
+         \x20             [--shards N] (offline sharded engine; with --mode model\n\
+         \x20             the exchange volume predicts a live N-shard cluster)\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
+         \x20 query       --addr HOST:PORT --sources FILE [--batch B]\n\
+         \x20             [--deadline-ms D] [--stats-json FILE]  (remote client)\n\
          \x20 components  --graph PATH [--threads T]\n\
          \x20 stcon       --graph PATH --source S --target T [--stats-json FILE]\n\
          \x20             (exit code 1 when disconnected)\n\
@@ -87,6 +98,14 @@ fn usage(err: &str) -> ! {
          \x20 loadgen     --addr HOST:PORT [--rate QPS | --closed-loop]\n\
          \x20             [--connections C] [--duration-s S] [--seed S]\n\
          \x20             [--deadline-ms D] [--slo-ms L] [--smoke] [--stats-json FILE]\n\
+         \x20 partition   --graph PATH --shards N [--out PATH]\n\
+         \x20             (writes PATH-derived *.shardKofN.csr slice files)\n\
+         \x20 shard       --shard PATH.shardKofN.csr [--addr HOST:PORT]\n\
+         \x20             (one shard worker; speaks swire-v1 to its router)\n\
+         \x20 router      --workers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
+         \x20             [--max-batch B] [--max-wait-us U] [--queue-cap Q]\n\
+         \x20             [--deadline-ms D] [--stats-json FILE]\n\
+         \x20             (wire-v1 front over shard workers; SIGINT drains)\n\
          \x20 model       --graph PATH --machine ep|ex [--threads T]\n\
          \x20             [--reorder none|degree|bfs|random] [--reorder-seed S]\n\
          \x20             [--trace FILE.json] [--metrics FILE.jsonl] [--stats-json FILE]\n\
@@ -322,12 +341,48 @@ fn cmd_bfs(opts: &HashMap<String, String>) {
 }
 
 /// `mcbfs info`: structural, degree and cache-locality facts of a saved
-/// graph, including the vertex ordering recorded in its header.
+/// graph, including the vertex ordering recorded in its header. Shard
+/// files (from `mcbfs partition`) get their shard metadata instead.
 fn cmd_info(opts: &HashMap<String, String>) {
+    let path = require(opts, "graph");
+    let mut magic = [0u8; 4];
+    {
+        use std::io::Read;
+        let mut f =
+            File::open(&path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+        f.read_exact(&mut magic)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    }
+    if &magic == io::SHARD_MAGIC {
+        let file = File::open(&path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+        let shard = io::read_shard(&mut BufReader::new(file))
+            .unwrap_or_else(|e| usage(&format!("cannot parse {path}: {e}")));
+        let range = shard.owned_range();
+        println!(
+            "{}: shard {} of {} over a {}-vertex graph",
+            path,
+            shard.index(),
+            shard.shards(),
+            shard.num_vertices()
+        );
+        println!(
+            "  owns [{}, {}): {} vertices, {} local edges",
+            range.start,
+            range.end,
+            shard.owned_len(),
+            shard.local_edges()
+        );
+        println!(
+            "  cut edges: {} ({:.1}% of local edges leave the shard)",
+            shard.cut_edges(),
+            1e2 * shard.cut_edges() as f64 / shard.local_edges().max(1) as f64
+        );
+        return;
+    }
     let (graph, reorder) = load_graph_tagged(opts);
     println!(
         "{}: {} vertices, {} directed edges, {:.1} MB",
-        require(opts, "graph"),
+        path,
         graph.num_vertices(),
         graph.num_edges(),
         graph.memory_bytes() as f64 / (1 << 20) as f64
@@ -410,9 +465,15 @@ fn read_sources(path: &str, n: usize) -> Vec<u32> {
 }
 
 fn cmd_query(opts: &HashMap<String, String>) {
+    if opts.contains_key("addr") {
+        return cmd_query_remote(opts);
+    }
     let graph = load_graph(opts);
     let sources = read_sources(&require(opts, "sources"), graph.num_vertices());
     let batch: usize = get(opts, "batch", 64usize);
+    if opts.contains_key("shards") {
+        return cmd_query_sharded(opts, &graph, &sources, batch);
+    }
     let threads: usize = get(opts, "threads", 1usize);
     let sockets: usize = get(opts, "sockets", 1usize);
     let mode_name = get(opts, "mode", "native".to_string());
@@ -459,6 +520,227 @@ fn cmd_query(opts: &HashMap<String, String>) {
     write_trace_exports(opts, report.trace.as_ref());
     if let Some(path) = opts.get("stats-json") {
         let json = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
+}
+
+/// `--stats-json` payload of `mcbfs query --shards N`: the usual batch
+/// stats plus the per-level shard-exchange ledger (in model mode this is
+/// the byte-exact prediction of a live N-shard cluster's traffic).
+#[derive(serde::Serialize)]
+struct ShardedQueryStats {
+    shards: u64,
+    stats: multicore_bfs::query::BatchStats,
+    exchange: multicore_bfs::shard::ExchangeLog,
+}
+
+/// `mcbfs query --shards N`: run the batch through the in-process
+/// sharded engine — the same level-synchronous exchange protocol the
+/// live router/worker cluster speaks, minus the sockets.
+fn cmd_query_sharded(
+    opts: &HashMap<String, String>,
+    graph: &CsrGraph,
+    sources: &[u32],
+    batch: usize,
+) {
+    use multicore_bfs::shard::ShardedEngine;
+    let shards: usize = get(opts, "shards", 1usize);
+    if shards == 0 {
+        usage("--shards must be at least 1");
+    }
+    let mode_name = get(opts, "mode", "native".to_string());
+    let mut engine = ShardedEngine::new(graph, shards).max_batch(batch);
+    match mode_name.as_str() {
+        "native" => {}
+        "model" => {
+            engine = engine.model(parse_machine(&get(opts, "machine", "ex".to_string())));
+        }
+        other => usage(&format!("unknown --mode {other:?} (native|model)")),
+    }
+    let queries: Vec<Query> = sources
+        .iter()
+        .map(|&root| Query::Distances { root })
+        .collect();
+    let report = engine.execute(&queries);
+    let stats = batch_stats(&report, batch, 1, 1, &mode_name);
+    let exchange = engine.exchange_log();
+    println!(
+        "[{}] {} queries in {} wave{} over {} shard slices: {:.3} ms makespan, \
+         {:.2} aggregate MTEPS, latency p50 {:.3} ms / p99 {:.3} ms",
+        mode_name,
+        stats.queries,
+        stats.waves,
+        if stats.waves == 1 { "" } else { "s" },
+        shards,
+        stats.seconds * 1e3,
+        stats.aggregate_teps / 1e6,
+        stats.p50_latency_ms,
+        stats.p99_latency_ms
+    );
+    for w in &report.waves {
+        println!(
+            "  wave {}: {} queries, {} levels, {:.3} ms, {} edges",
+            w.wave,
+            w.queries,
+            w.levels,
+            w.seconds * 1e3,
+            w.edges
+        );
+    }
+    println!(
+        "  exchange: {} frames, {} bytes, {} items over {} level rounds",
+        exchange.total_frames(),
+        exchange.total_bytes(),
+        exchange.total_items(),
+        exchange.levels.len()
+    );
+    if let Some(path) = opts.get("stats-json") {
+        let payload = ShardedQueryStats {
+            shards: shards as u64,
+            stats,
+            exchange,
+        };
+        let json = serde_json::to_string_pretty(&payload).expect("serialize stats");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
+}
+
+/// `--stats-json` payload of `mcbfs query --addr`.
+#[derive(serde::Serialize)]
+struct RemoteQueryStats {
+    submitted: u64,
+    served: u64,
+    rejected: u64,
+    timeouts: u64,
+    errors: u64,
+    seconds: f64,
+    edges: u64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+}
+
+/// `mcbfs query --addr`: drive a live wire-v1 server (single-process
+/// `mcbfs serve` or a sharded `mcbfs router` — the protocol is the same)
+/// with one distances query per source, pipelined on one connection.
+fn cmd_query_remote(opts: &HashMap<String, String>) {
+    use multicore_bfs::query::nearest_rank_quantile;
+    use multicore_bfs::serve::wire;
+    use multicore_bfs::serve::{Request, Response};
+    use std::io::{BufRead, Write};
+    let addr = require(opts, "addr");
+    let deadline_ms: f64 = get(opts, "deadline-ms", -1.0f64);
+    let stream = std::net::TcpStream::connect(&addr)
+        .unwrap_or_else(|e| usage(&format!("cannot connect to {addr}: {e}")));
+    stream.set_nodelay(true).ok();
+    let mut writer = stream
+        .try_clone()
+        .unwrap_or_else(|e| usage(&format!("cannot clone connection: {e}")));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Handshake: the stats reply carries the graph shape, which bounds
+    // the source ids exactly as the local path does.
+    writer
+        .write_all(wire::encode(&Request::Stats { tag: u64::MAX }).as_bytes())
+        .unwrap_or_else(|e| usage(&format!("handshake write failed: {e}")));
+    reader
+        .read_line(&mut line)
+        .unwrap_or_else(|e| usage(&format!("handshake read failed: {e}")));
+    let n = match wire::decode::<Response>(&line) {
+        Ok(Response::Stats { stats, .. }) => stats.vertices as usize,
+        Ok(other) => usage(&format!("unexpected handshake reply: {other:?}")),
+        Err(e) => usage(&format!("bad handshake reply: {e}")),
+    };
+    let sources = read_sources(&require(opts, "sources"), n);
+
+    let start = std::time::Instant::now();
+    for (tag, &root) in sources.iter().enumerate() {
+        let request = Request::Query {
+            tag: tag as u64,
+            query: Query::Distances { root },
+            deadline_ms: (deadline_ms > 0.0).then_some(deadline_ms),
+        };
+        writer
+            .write_all(wire::encode(&request).as_bytes())
+            .unwrap_or_else(|e| usage(&format!("query write failed: {e}")));
+    }
+    writer
+        .flush()
+        .unwrap_or_else(|e| usage(&format!("query write failed: {e}")));
+
+    let (mut served, mut rejected, mut timeouts, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let mut edges = 0u64;
+    let mut latencies = Vec::new();
+    let mut remaining = sources.len();
+    while remaining > 0 {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => usage("server closed the connection mid-batch"),
+            Ok(_) => {}
+            Err(e) => usage(&format!("reply read failed: {e}")),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode::<Response>(&line) {
+            Ok(Response::Ok(reply)) => {
+                served += 1;
+                edges += reply.edges;
+                latencies.push(reply.latency_ms);
+                remaining -= 1;
+            }
+            Ok(Response::Rejected { .. }) => {
+                rejected += 1;
+                remaining -= 1;
+            }
+            Ok(Response::Timeout { .. }) => {
+                timeouts += 1;
+                remaining -= 1;
+            }
+            Ok(Response::Error { .. }) => {
+                errors += 1;
+                remaining -= 1;
+            }
+            // Stray pong/stats replies are not part of this batch.
+            Ok(_) => {}
+            Err(e) => usage(&format!("bad server frame: {e}")),
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let p50 = nearest_rank_quantile(&latencies, 0.50);
+    let p99 = nearest_rank_quantile(&latencies, 0.99);
+    println!(
+        "[remote {addr}] {} queries in {:.3} ms: {} served / {} rejected / \
+         {} timeout / {} error; {:.2} aggregate MTEPS, latency p50 {:.3} ms / p99 {:.3} ms",
+        sources.len(),
+        seconds * 1e3,
+        served,
+        rejected,
+        timeouts,
+        errors,
+        if seconds > 0.0 {
+            edges as f64 / seconds / 1e6
+        } else {
+            0.0
+        },
+        p50,
+        p99
+    );
+    if let Some(path) = opts.get("stats-json") {
+        let payload = RemoteQueryStats {
+            submitted: sources.len() as u64,
+            served,
+            rejected,
+            timeouts,
+            errors,
+            seconds,
+            edges,
+            p50_latency_ms: p50,
+            p99_latency_ms: p99,
+        };
+        let json = serde_json::to_string_pretty(&payload).expect("serialize stats");
         write_text_file(path, &json);
         println!("wrote stats JSON {path}");
     }
@@ -619,6 +901,157 @@ fn cmd_loadgen(opts: &HashMap<String, String>) {
     );
     if let Some(path) = opts.get("stats-json") {
         let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        write_text_file(path, &json);
+        println!("wrote stats JSON {path}");
+    }
+}
+
+/// `mcbfs partition`: cut a saved CSR into N contiguous vertex-range
+/// shard files that `mcbfs shard` workers load.
+fn cmd_partition(opts: &HashMap<String, String>) {
+    let graph = load_graph(opts);
+    let shards: usize = get(opts, "shards", 0usize);
+    if shards == 0 {
+        usage("--shards must be at least 1");
+    }
+    let base = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| require(opts, "graph"));
+    let mut cut_total = 0usize;
+    for index in 0..shards {
+        let shard = CsrShard::cut(&graph, shards, index);
+        let path = shard_file_name(&base, index, shards);
+        let f =
+            File::create(&path).unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        io::write_shard(&mut BufWriter::new(f), &shard).expect("serialize shard");
+        cut_total += shard.cut_edges();
+        println!(
+            "wrote {}: owns [{}, {}) ({} vertices), {} local edges ({} cut)",
+            path,
+            shard.owned_range().start,
+            shard.owned_range().end,
+            shard.owned_len(),
+            shard.local_edges(),
+            shard.cut_edges()
+        );
+    }
+    println!(
+        "partitioned {} vertices, {} edges into {} shards; {:.1}% of edges cross shards",
+        graph.num_vertices(),
+        graph.num_edges(),
+        shards,
+        1e2 * cut_total as f64 / graph.num_edges().max(1) as f64
+    );
+}
+
+/// `mcbfs shard`: run one shard worker until SIGINT. The worker owns a
+/// vertex range and answers its router over swire-v1; clients never
+/// connect here.
+fn cmd_shard(opts: &HashMap<String, String>) {
+    use multicore_bfs::serve::{arm_sigint, ShutdownHandle};
+    use multicore_bfs::shard::run_worker;
+    let path = require(opts, "shard");
+    let file = File::open(&path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    let shard = io::read_shard(&mut BufReader::new(file))
+        .unwrap_or_else(|e| usage(&format!("cannot parse {path}: {e}")));
+    let addr = get(opts, "addr", "127.0.0.1:7501".to_string());
+    arm_sigint();
+    let shutdown = ShutdownHandle::new();
+    let stats = run_worker(&shard, &addr, &shutdown, |bound| {
+        println!(
+            "mcbfs-shard (swire-v1) listening on {bound}: shard {} of {}, \
+             owns [{}, {}) of {} vertices, {} local edges ({} cut)",
+            shard.index(),
+            shard.shards(),
+            shard.owned_range().start,
+            shard.owned_range().end,
+            shard.num_vertices(),
+            shard.local_edges(),
+            shard.cut_edges()
+        );
+    })
+    .unwrap_or_else(|e| usage(&format!("shard worker failed: {e}")));
+    println!(
+        "drained and stopped after {:.1}s: {} router connections",
+        stats.uptime_seconds, stats.connections
+    );
+}
+
+/// `--stats-json` payload of `mcbfs router`: the merged cluster stats
+/// plus the per-level shard-exchange ledger observed on the live links.
+#[derive(serde::Serialize)]
+struct RouterStats {
+    stats: multicore_bfs::serve::ServerStats,
+    exchange: multicore_bfs::shard::ExchangeLog,
+}
+
+/// `mcbfs router`: the scatter/gather front — wire-v1 to clients,
+/// swire-v1 to the shard workers listed in `--workers`. SIGINT drains
+/// in-flight waves and then reports the merged cluster stats.
+fn cmd_router(opts: &HashMap<String, String>) {
+    use multicore_bfs::serve::{arm_sigint, serve_with, ServeOpts, ShutdownHandle};
+    use multicore_bfs::shard::Router;
+    let workers: Vec<String> = require(opts, "workers")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if workers.is_empty() {
+        usage("--workers needs at least one HOST:PORT");
+    }
+    let router = Router::connect(&workers)
+        .unwrap_or_else(|e| usage(&format!("cannot connect to shard workers: {e}")));
+    let deadline_s: f64 = get(opts, "deadline-ms", -1.0f64) / 1e3;
+    let serve_opts = ServeOpts {
+        addr: get(opts, "addr", "127.0.0.1:7411".to_string()),
+        threads: 0,
+        sockets: 1,
+        max_batch: get(opts, "max-batch", 64usize),
+        max_wait: std::time::Duration::from_micros(get(opts, "max-wait-us", 2_000u64)),
+        queue_cap: get(opts, "queue-cap", 256usize),
+        default_deadline: (deadline_s > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(deadline_s)),
+    };
+    arm_sigint();
+    let shutdown = ShutdownHandle::new();
+    let (vertices, edges, shards) = (
+        router.num_vertices(),
+        router.num_edges(),
+        router.num_shards(),
+    );
+    let stats = serve_with(&router, vertices, edges, &serve_opts, &shutdown, |addr| {
+        println!(
+            "mcbfs-router (wire-v1) listening on {addr}: {vertices} vertices, {edges} edges \
+             over {shards} shard workers, max_batch {}, max_wait {:?}, queue_cap {}",
+            serve_opts.max_batch, serve_opts.max_wait, serve_opts.queue_cap
+        );
+    })
+    .unwrap_or_else(|e| usage(&format!("router failed: {e}")));
+    let exchange = router.exchange_log();
+    println!(
+        "drained and stopped after {:.1}s: {} admitted, {} served, {} shed, \
+         {} timeouts, {} errors, {} protocol errors, {} waves, p99 {:.3} ms",
+        stats.uptime_seconds,
+        stats.admitted,
+        stats.served,
+        stats.shed,
+        stats.timeouts,
+        stats.errors,
+        stats.protocol_errors,
+        stats.waves,
+        stats.p99_latency_ms
+    );
+    println!(
+        "  exchange: {} frames, {} bytes, {} items over {} level rounds",
+        exchange.total_frames(),
+        exchange.total_bytes(),
+        exchange.total_items(),
+        exchange.levels.len()
+    );
+    if let Some(path) = opts.get("stats-json") {
+        let payload = RouterStats { stats, exchange };
+        let json = serde_json::to_string_pretty(&payload).expect("serialize stats");
         write_text_file(path, &json);
         println!("wrote stats JSON {path}");
     }

@@ -1,0 +1,91 @@
+//! Property tests (ISSUE 10): the sharded engine answers every query
+//! kind identically to the single-process `QueryEngine`, at shard
+//! counts that tile evenly (1, 2, 4) and unevenly (7), on both
+//! scale-free R-MAT graphs and bounded-degree grids.
+//!
+//! "Identically" follows the repo's serving-parity convention: depths,
+//! edge counts, st-connectivity distances and reachability verdicts are
+//! byte-equal; parents are validated as a BFS tree whose implied depths
+//! match the depth answer (MS-BFS parent races make the tree itself
+//! legitimately nondeterministic across decompositions).
+
+use multicore_bfs::gen::grid::{GridBuilder, Stencil};
+use multicore_bfs::gen::prelude::*;
+use multicore_bfs::graph::csr::CsrGraph;
+use multicore_bfs::graph::validate::{depths_from_parents, validate_bfs_tree};
+use multicore_bfs::query::{Query, QueryEngine, QueryResult};
+use multicore_bfs::shard::ShardedEngine;
+use proptest::prelude::*;
+
+/// Strategy: a generated graph (R-MAT or 8-stencil grid) plus 1..=8
+/// in-range source vertices.
+fn arb_case() -> impl Strategy<Value = (CsrGraph, Vec<u32>)> {
+    let rmat = (6u32..9, 4usize..9, any::<u64>())
+        .prop_map(|(scale, degree, seed)| RmatBuilder::new(scale, degree).seed(seed).build());
+    let grid = (4usize..12).prop_map(|side| GridBuilder::new(side, Stencil::Eight).build());
+    prop_oneof![rmat, grid].prop_flat_map(|graph| {
+        let n = graph.num_vertices() as u32;
+        proptest::collection::vec(0..n, 1..=8).prop_map(move |sources| (graph.clone(), sources))
+    })
+}
+
+/// One query of each kind in rotation, targets drawn from the same pool.
+fn queries_from(sources: &[u32]) -> Vec<Query> {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let t = sources[(i + 1) % sources.len()];
+            match i % 4 {
+                0 => Query::Parents { root: s },
+                1 => Query::Distances { root: s },
+                2 => Query::StCon { s, t },
+                _ => Query::Reachable { from: s, to: t },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_engine_matches_single_process_at_every_shard_count(
+        (graph, sources) in arb_case(),
+    ) {
+        let queries = queries_from(&sources);
+        let single = QueryEngine::new(&graph).execute(&queries);
+        for shards in [1usize, 2, 4, 7] {
+            let report = ShardedEngine::new(&graph, shards).execute(&queries);
+            prop_assert_eq!(report.outcomes.len(), single.outcomes.len());
+            for (a, b) in single.outcomes.iter().zip(&report.outcomes) {
+                prop_assert_eq!(a.id, b.id, "{} shards", shards);
+                prop_assert_eq!(a.edges, b.edges, "{} shards", shards);
+                match (&a.result, &b.result) {
+                    (
+                        QueryResult::Parents { depths: da, .. },
+                        QueryResult::Parents { parents, depths: db },
+                    ) => {
+                        prop_assert_eq!(da, db, "{} shards", shards);
+                        let Query::Parents { root } = a.query else { unreachable!() };
+                        prop_assert!(validate_bfs_tree(&graph, root, parents).is_ok());
+                        prop_assert_eq!(&depths_from_parents(parents), db);
+                    }
+                    (
+                        QueryResult::Distances { depths: da },
+                        QueryResult::Distances { depths: db },
+                    ) => prop_assert_eq!(da, db, "{} shards", shards),
+                    (
+                        QueryResult::StCon { distance: x },
+                        QueryResult::StCon { distance: y },
+                    ) => prop_assert_eq!(x, y, "{} shards", shards),
+                    (
+                        QueryResult::Reachable { reachable: x },
+                        QueryResult::Reachable { reachable: y },
+                    ) => prop_assert_eq!(x, y, "{} shards", shards),
+                    (x, y) => prop_assert!(false, "kind mismatch: {:?} vs {:?}", x, y),
+                }
+            }
+        }
+    }
+}
